@@ -1,0 +1,180 @@
+// CMP8 — §V.E comparison against Müter & Asaj [8] (whole-ID-distribution
+// entropy). Quantifies the paper's three arguments:
+//   1. memory: 11 bit counters vs one counter per distinct identifier;
+//   2. computation: entropy over 11 Bernoulli terms vs hundreds of symbols;
+//   3. capability: bit-level inference of the malicious ID, which the
+//      symbol-level detector cannot provide at all.
+// Both detectors then face the same attacks so detection is comparable.
+#include <chrono>
+#include <iostream>
+
+#include "baselines/muter_entropy.h"
+#include "metrics/experiment.h"
+#include "util/table.h"
+
+using namespace canids;
+
+namespace {
+
+/// Run both detectors over the same attacked capture; returns (bit-level
+/// alert windows, symbol-level alert windows, attacked windows).
+struct HeadToHead {
+  std::size_t windows = 0;
+  std::size_t bit_alerts = 0;
+  std::size_t symbol_alerts = 0;
+  double bit_hit = 0.0;  ///< best inference hit fraction (bit-level only)
+};
+
+HeadToHead head_to_head(metrics::ExperimentRunner& runner,
+                        const baselines::MuterEntropyIds& muter,
+                        attacks::ScenarioKind kind, double frequency,
+                        std::uint64_t seed) {
+  const trace::SyntheticVehicle& vehicle = runner.vehicle();
+  can::BusSimulator bus(vehicle.config().bus);
+  vehicle.attach_to(bus, trace::DrivingBehavior::kCity, seed);
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency;
+  auto attack =
+      attacks::make_scenario(kind, vehicle, attack_config, util::Rng(seed));
+  const auto true_ids = attack.planned_ids;
+  bus.add_node(std::move(attack.node));
+
+  ids::IdsPipeline pipeline(runner.train(), vehicle.id_pool(), {});
+  baselines::SymbolEntropyAccumulator symbol_acc(util::kSecond);
+
+  HeadToHead result;
+  bus.add_listener([&](const can::TimedFrame& frame) {
+    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
+      ++result.windows;
+      if (report->detection.alert) {
+        ++result.bit_alerts;
+        if (report->inference) {
+          result.bit_hit = std::max(
+              result.bit_hit,
+              ids::inference_hit_fraction(
+                  true_ids, report->inference->ranked_candidates));
+        }
+      }
+    }
+    if (auto window =
+            symbol_acc.add(frame.timestamp, frame.frame.id().raw())) {
+      if (muter.evaluate(*window).alert) ++result.symbol_alerts;
+    }
+  });
+  bus.run_until(12 * util::kSecond);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  metrics::ExperimentConfig config;
+  config.training_windows = ids::kPaperTrainingWindows;
+  config.seed = 0xC38;
+  metrics::ExperimentRunner runner(config);
+  (void)runner.train();
+  const trace::SyntheticVehicle& vehicle = runner.vehicle();
+
+  // --- Train the Müter baseline on the same clean traffic --------------------
+  std::vector<baselines::SymbolWindow> symbol_training;
+  baselines::SymbolEntropyAccumulator train_acc(util::kSecond);
+  for (std::uint64_t seed = 0; seed < trace::kAllBehaviors.size(); ++seed) {
+    for (const trace::LogRecord& r : vehicle.record_trace(
+             trace::kAllBehaviors[seed], 6 * util::kSecond, 100 + seed)) {
+      if (auto w = train_acc.add(r.timestamp, r.frame.id().raw())) {
+        symbol_training.push_back(*w);
+      }
+    }
+  }
+  const baselines::MuterEntropyIds muter(symbol_training);
+
+  util::print_banner(std::cout,
+                     "CMP8 — bit-slice entropy IDS (this paper) vs "
+                     "whole-distribution entropy IDS (Muter & Asaj [8])");
+
+  // --- 1. Memory -------------------------------------------------------------
+  baselines::SymbolEntropyAccumulator live_acc(util::kSecond);
+  for (const trace::LogRecord& r : vehicle.record_trace(
+           trace::DrivingBehavior::kCity, 2 * util::kSecond, 55)) {
+    live_acc.add(r.timestamp, r.frame.id().raw());
+  }
+  util::Table memory({"detector", "monitoring state (bytes)",
+                      "growth with #IDs"});
+  memory.add_row({"bit-slice (ours)",
+                  std::to_string(ids::BitCounters::state_bytes()),
+                  "O(1): 11 counters + total"});
+  memory.add_row({"Muter [8]", std::to_string(live_acc.state_bytes()),
+                  "O(#IDs): one counter per identifier"});
+  memory.print(std::cout);
+  std::cout << "paper claim: \"we just need 11 memory spaces ... no matter "
+               "how many ID messages are on the bus\"\n";
+
+  // --- 2. Computation ----------------------------------------------------------
+  // Time the per-window entropy evaluation of both methods on identical
+  // traffic (the per-frame counting is equal; the entropy step differs).
+  const trace::Trace timing_trace = vehicle.record_trace(
+      trace::DrivingBehavior::kHighway, 10 * util::kSecond, 77);
+  constexpr int kRepeats = 200;
+
+  ids::BitCounters bit_counters;
+  std::unordered_map<std::uint32_t, std::uint64_t> histogram;
+  std::uint64_t total = 0;
+  for (const trace::LogRecord& r : timing_trace) {
+    bit_counters.add(r.frame.id().raw());
+    ++histogram[r.frame.id().raw()];
+    ++total;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int i = 0; i < kRepeats; ++i) {
+    for (double h : bit_counters.entropies()) sink += h;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    sink += baselines::id_distribution_entropy(histogram, total);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double bit_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kRepeats;
+  const double symbol_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / kRepeats;
+  util::Table compute({"detector", "entropy evaluation per window",
+                       "elements"});
+  compute.add_row({"bit-slice (ours)", util::Table::num(bit_us, 2) + " us",
+                   "11 Bernoulli terms"});
+  compute.add_row({"Muter [8]", util::Table::num(symbol_us, 2) + " us",
+                   std::to_string(histogram.size()) + " symbols"});
+  compute.print(std::cout);
+  std::cout << "paper claim: \"relative saving in computing the entropy "
+               "(from hundreds of elements down to 11)\"  (sink="
+            << static_cast<long>(sink) % 10 << ")\n";
+
+  // --- 3. Capability: detection parity + inference ----------------------------
+  util::print_banner(std::cout, "head-to-head detection on the same attacks");
+  util::Table versus({"scenario", "windows", "bit-slice alerts",
+                      "Muter alerts", "bit-level ID inference"});
+  struct Case {
+    attacks::ScenarioKind kind;
+    double frequency;
+  };
+  for (const Case c : {Case{attacks::ScenarioKind::kSingle, 100.0},
+                       Case{attacks::ScenarioKind::kMulti2, 50.0},
+                       Case{attacks::ScenarioKind::kFlood, 400.0}}) {
+    const HeadToHead result =
+        head_to_head(runner, muter, c.kind, c.frequency, 11);
+    versus.add_row(
+        {std::string(attacks::scenario_name(c.kind)),
+         std::to_string(result.windows),
+         std::to_string(result.bit_alerts),
+         std::to_string(result.symbol_alerts),
+         c.kind == attacks::ScenarioKind::kFlood
+             ? "-- (changeable IDs)"
+             : "hit=" + util::Table::percent(result.bit_hit)});
+  }
+  versus.print(std::cout);
+  std::cout << "expected: comparable alert coverage, but only the bit-slice "
+               "detector names the malicious identifier.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// FIG2 — Fig. 2 of the paper: "Golden template and a case study example of
+// an attack". Trains the template from 35 diverse-driving windows (exactly
+// the paper's procedure), prints the per-bit template entropy with its
+// range and threshold (alpha = 5), then overlays the entropy vector of one
+// attacked window and marks the alerting bits — the figure's visual.
+#include <iostream>
+
+#include "metrics/experiment.h"
+#include "util/table.h"
+
+using namespace canids;
+
+int main() {
+  metrics::ExperimentConfig config;
+  config.training_windows = ids::kPaperTrainingWindows;  // 35
+  config.seed = 0xF16'2;
+  metrics::ExperimentRunner runner(config);
+  const ids::GoldenTemplate& golden = runner.train();
+
+  util::print_banner(std::cout,
+                     "Fig. 2 — golden template (35 diverse driving windows, "
+                     "1 s each, alpha = 5)");
+
+  // --- One attacked window for the case-study overlay -----------------------
+  const metrics::TrialResult trial = runner.run_trial(
+      attacks::ScenarioKind::kSingle, /*frequency_hz=*/100.0,
+      /*trial_seed=*/6);
+
+  // Re-run a single attacked window manually to get its entropy vector.
+  can::BusSimulator bus(runner.vehicle().config().bus);
+  runner.vehicle().attach_to(bus, trace::DrivingBehavior::kCity, 616);
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = 100.0;
+  attack_config.start = 0;
+  auto attack = attacks::make_single_id_attack(
+      attack_config, trial.planned_ids.front(), util::Rng(5));
+  bus.add_node(std::move(attack.node));
+
+  ids::WindowAccumulator accumulator;
+  std::optional<ids::WindowSnapshot> attacked;
+  bus.add_listener([&](const can::TimedFrame& frame) {
+    if (attacked) return;
+    if (auto snap = accumulator.add(frame.timestamp, frame.frame.id())) {
+      attacked = snap;
+    }
+  });
+  bus.run_until(3 * util::kSecond);
+
+  const ids::Detector detector(golden, {});
+  const ids::DetectionResult detection = detector.evaluate(*attacked);
+
+  util::Table table({"bit", "H_temp (mean)", "H range (train)",
+                     "threshold (5x)", "H under attack", "|deviation|",
+                     "alert"});
+  for (int bit = 0; bit < golden.width; ++bit) {
+    const auto b = static_cast<std::size_t>(bit);
+    const ids::BitDeviation& dev = detection.bits[b];
+    table.add_row({"Bit " + std::to_string(bit + 1),
+                   util::Table::num(golden.mean_entropy[b], 4),
+                   util::Table::num(golden.entropy_range(bit), 4),
+                   util::Table::num(detector.thresholds()[b], 4),
+                   util::Table::num(dev.observed_entropy, 4),
+                   util::Table::num(dev.deviation, 4),
+                   dev.alerted ? "  *ALERT*" : ""});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ninjected ID: "
+            << can::CanId::standard(trial.planned_ids.front()).to_string()
+            << " at 100 Hz;  alerting bits (paper's example flagged bits 6, "
+               "7 and 11 for its attack):";
+  for (int bit : detection.alerted_bits) std::cout << " " << bit + 1;
+  std::cout << "\npaper: template from 35 measurements; normal-driving "
+               "variation 1e-8..9e-8 on real Ford Fusion data.\n"
+            << "ours : template from " << golden.training_windows
+            << " simulated windows; max per-bit entropy range "
+            << util::Table::num(
+                   [&] {
+                     double max_range = 0.0;
+                     for (int bit = 0; bit < golden.width; ++bit) {
+                       max_range =
+                           std::max(max_range, golden.entropy_range(bit));
+                     }
+                     return max_range;
+                   }(),
+                   5)
+            << " (synthetic traffic is noisier; shape, not scale, is the "
+               "claim under test).\n";
+  return detection.alert ? 0 : 1;
+}

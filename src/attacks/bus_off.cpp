@@ -1,0 +1,18 @@
+#include "attacks/bus_off.h"
+
+namespace canids::attacks {
+
+std::function<bool(const can::TimedFrame&)> make_bus_off_fault(
+    const BusOffConfig& config, std::shared_ptr<BusOffState> state) {
+  return [config, state = std::move(state)](const can::TimedFrame& frame) {
+    if (frame.frame.id().is_extended()) return false;
+    if (frame.frame.id().raw() != config.victim_id) return false;
+    if (frame.timestamp < config.start || frame.timestamp >= config.stop) {
+      return false;
+    }
+    if (state) ++state->frames_destroyed;
+    return true;
+  };
+}
+
+}  // namespace canids::attacks

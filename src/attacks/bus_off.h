@@ -1,0 +1,41 @@
+// Bus-off (message suppression) attack — the paper's reference [10]
+// (Cho & Shin, CCS 2016). The adversary synchronises with a victim frame
+// and overwrites one of its recessive bits with a dominant level; the
+// victim sees a bit error, its TEC climbs by 8 per attempt, and after ~32
+// consecutive hits the victim is bus-off: its periodic messages disappear
+// from the bus entirely.
+//
+// We model the physical bit-overwrite abstractly through the simulator's
+// fault hook: every transmission of the victim identifier inside the
+// attack window is destroyed. The interesting consequence for this paper:
+// the entropy IDS detects the *absence* of the suppressed traffic as a
+// probability shift, even though not a single frame was injected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "can/bus.h"
+
+namespace canids::attacks {
+
+struct BusOffConfig {
+  /// The identifier whose transmissions are destroyed.
+  std::uint32_t victim_id = 0;
+  /// Attack window.
+  util::TimeNs start = 0;
+  util::TimeNs stop = util::kNever;
+};
+
+/// Book-keeping shared with the harness: how many frames were destroyed.
+struct BusOffState {
+  std::uint64_t frames_destroyed = 0;
+};
+
+/// Build the fault hook implementing the attack. Install the result with
+/// BusSimulator::set_fault_hook. `state` (optional) observes progress.
+[[nodiscard]] std::function<bool(const can::TimedFrame&)> make_bus_off_fault(
+    const BusOffConfig& config, std::shared_ptr<BusOffState> state = nullptr);
+
+}  // namespace canids::attacks

@@ -1,0 +1,42 @@
+// Strong adversary, scenario 3 (§III.B.3): inject with k distinct IDs —
+// either several compromised ECUs or one attacker cycling identifiers. The
+// configured frequency applies PER identifier, so the aggregate injected
+// volume grows with k; this is why Table I's detection rate rises with the
+// number of injected IDs while inference accuracy falls.
+#include "attacks/scenario.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_multi_id_attack(const AttackConfig& config,
+                                 std::vector<std::uint32_t> ids,
+                                 util::Rng rng) {
+  CANIDS_EXPECTS(!ids.empty());
+  for (std::uint32_t id : ids) CANIDS_EXPECTS(id <= can::kMaxStdId);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  // One node models the union of the k injection streams: the aggregate
+  // rate is k * frequency_hz, cycling round-robin over the IDs.
+  AttackConfig aggregate = config;
+  aggregate.frequency_hz = config.frequency_hz * static_cast<double>(ids.size());
+
+  auto selector = [ids](std::uint32_t seq) {
+    return can::CanId::standard(ids[seq % ids.size()]);
+  };
+
+  BuiltAttack attack;
+  attack.kind = ids.size() >= 4   ? ScenarioKind::kMulti4
+                : ids.size() == 3 ? ScenarioKind::kMulti3
+                : ids.size() == 2 ? ScenarioKind::kMulti2
+                                  : ScenarioKind::kSingle;
+  attack.planned_ids = ids;
+  attack.node = std::make_unique<InjectionNode>("attacker-multi", aggregate,
+                                                std::move(selector), rng);
+  return attack;
+}
+
+}  // namespace canids::attacks

@@ -1,0 +1,129 @@
+#include "attacks/scenario.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+InjectionNode::InjectionNode(std::string name, AttackConfig config,
+                             IdSelector selector, util::Rng rng)
+    : can::Node(std::move(name), /*queue_capacity=*/1,
+                can::OverflowPolicy::kReplaceOldest),
+      config_(config),
+      selector_(std::move(selector)),
+      rng_(rng),
+      next_due_(config.start) {
+  CANIDS_EXPECTS(config_.frequency_hz > 0.0);
+  CANIDS_EXPECTS(selector_ != nullptr);
+  CANIDS_EXPECTS(config_.dlc <= can::kMaxDataBytes);
+  period_ = static_cast<util::TimeNs>(
+      static_cast<double>(util::kSecond) / config_.frequency_hz);
+  CANIDS_EXPECTS(period_ > 0);
+}
+
+void InjectionNode::produce(util::TimeNs now) {
+  while (next_due_ <= now && next_due_ < config_.stop) {
+    const can::CanId id = selector_(sequence_);
+    std::array<std::uint8_t, can::kMaxDataBytes> payload{};
+    for (std::size_t b = 0; b < config_.dlc; ++b) {
+      payload[b] = static_cast<std::uint8_t>(rng_.below(256));
+    }
+    submit(can::Frame::data_frame(
+        id, std::span<const std::uint8_t>(payload.data(), config_.dlc)));
+
+    const auto it =
+        std::lower_bound(ids_used_.begin(), ids_used_.end(), id.raw());
+    if (it == ids_used_.end() || *it != id.raw()) ids_used_.insert(it, id.raw());
+
+    ++sequence_;
+    next_due_ += period_;
+  }
+}
+
+util::TimeNs InjectionNode::next_production_time() const {
+  return next_due_ < config_.stop ? next_due_ : util::kNever;
+}
+
+std::vector<std::uint32_t> InjectionNode::ids_used() const { return ids_used_; }
+
+std::string_view scenario_name(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kFlood: return "Flood";
+    case ScenarioKind::kSingle: return "Single Injection";
+    case ScenarioKind::kMulti2: return "Multiple_Injection_2";
+    case ScenarioKind::kMulti3: return "Multiple_Injection_3";
+    case ScenarioKind::kMulti4: return "Multiple_Injection_4";
+    case ScenarioKind::kWeak: return "Weak Injection";
+  }
+  return "unknown";
+}
+
+int scenario_id_count(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kFlood: return 0;  // unbounded / changeable
+    case ScenarioKind::kSingle: return 1;
+    case ScenarioKind::kMulti2: return 2;
+    case ScenarioKind::kMulti3: return 3;
+    case ScenarioKind::kMulti4: return 4;
+    case ScenarioKind::kWeak: return 2;
+  }
+  return 0;
+}
+
+bool scenario_inferable(ScenarioKind kind) noexcept {
+  // The paper marks inference "--" for flooding: the attacker's changeable
+  // random IDs leave no stable bit signature to invert.
+  return kind != ScenarioKind::kFlood;
+}
+
+BuiltAttack make_scenario(ScenarioKind kind,
+                          const trace::SyntheticVehicle& vehicle,
+                          const AttackConfig& config, util::Rng rng) {
+  const std::vector<std::uint32_t>& pool = vehicle.id_pool();
+  CANIDS_EXPECTS(!pool.empty());
+
+  auto pick_distinct = [&rng, &pool](int count) {
+    std::vector<std::uint32_t> picked;
+    while (static_cast<int>(picked.size()) < count) {
+      const std::uint32_t id = pool[rng.below(pool.size())];
+      if (std::find(picked.begin(), picked.end(), id) == picked.end()) {
+        picked.push_back(id);
+      }
+    }
+    return picked;
+  };
+
+  switch (kind) {
+    case ScenarioKind::kFlood:
+      return make_flooding_attack(config, rng);
+    case ScenarioKind::kSingle:
+      return make_single_id_attack(config, pick_distinct(1).front(), rng);
+    case ScenarioKind::kMulti2:
+      return make_multi_id_attack(config, pick_distinct(2), rng);
+    case ScenarioKind::kMulti3:
+      return make_multi_id_attack(config, pick_distinct(3), rng);
+    case ScenarioKind::kMulti4:
+      return make_multi_id_attack(config, pick_distinct(4), rng);
+    case ScenarioKind::kWeak: {
+      // Compromise one ECU; abuse two of its legal IDs (whatever the
+      // filter lets through — the attacker has no choice of other IDs).
+      const std::size_t ecu_index = rng.below(vehicle.ecus().size());
+      std::vector<std::uint32_t> legal = vehicle.ids_of_ecu(ecu_index);
+      CANIDS_EXPECTS(!legal.empty());
+      std::vector<std::uint32_t> ids;
+      const int use = std::min<int>(2, static_cast<int>(legal.size()));
+      while (static_cast<int>(ids.size()) < use) {
+        const std::uint32_t id = legal[rng.below(legal.size())];
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+      return make_weak_attack(config, std::move(legal), std::move(ids), rng);
+    }
+  }
+  CANIDS_EXPECTS(false && "unreachable scenario kind");
+  return {};
+}
+
+}  // namespace canids::attacks

@@ -1,0 +1,121 @@
+// The paper's four attack scenarios (§III.B) as bus-simulator nodes.
+//
+// Every attacker is an InjectionNode: a compromised ECU generating malicious
+// frames at a configured frequency, with a transmit queue of depth 1 that
+// overwrites the pending frame (controller-mailbox semantics). This makes
+// NodeStats::injection_success_ratio the paper's injection rate I_r and
+// keeps N_m = I_r * f * T0 exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "can/node.h"
+#include "trace/synthetic_vehicle.h"
+#include "util/rng.h"
+
+namespace canids::attacks {
+
+/// Common knobs shared by all scenarios.
+struct AttackConfig {
+  /// Frames per second the attacker generates (paper: 100/50/20/10 Hz).
+  double frequency_hz = 100.0;
+  /// When the attack starts/stops (simulation time).
+  util::TimeNs start = 0;
+  util::TimeNs stop = util::kNever;
+  /// Payload length of injected frames.
+  std::uint8_t dlc = 8;
+};
+
+/// A malicious node injecting frames whose IDs come from `IdSelector`.
+class InjectionNode : public can::Node {
+ public:
+  /// Returns the identifier for the seq-th injected frame.
+  using IdSelector = std::function<can::CanId(std::uint32_t seq)>;
+
+  InjectionNode(std::string name, AttackConfig config, IdSelector selector,
+                util::Rng rng);
+
+  void produce(util::TimeNs now) override;
+  [[nodiscard]] util::TimeNs next_production_time() const override;
+
+  [[nodiscard]] const AttackConfig& attack_config() const noexcept {
+    return config_;
+  }
+
+  /// Ground truth: the distinct identifiers generated so far, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> ids_used() const;
+
+ private:
+  AttackConfig config_;
+  IdSelector selector_;
+  util::Rng rng_;
+  util::TimeNs next_due_;
+  util::TimeNs period_;
+  std::uint32_t sequence_ = 0;
+  std::vector<std::uint32_t> ids_used_;  // kept sorted+unique
+};
+
+/// Scenario taxonomy matching Table I of the paper.
+enum class ScenarioKind : std::uint8_t {
+  kFlood,    ///< strong adversary, changeable high-priority IDs
+  kSingle,   ///< strong adversary, one chosen ID
+  kMulti2,   ///< strong adversary, 2 IDs
+  kMulti3,   ///< strong adversary, 3 IDs
+  kMulti4,   ///< strong adversary, 4 IDs
+  kWeak,     ///< weak adversary, fixed legal IDs behind a transmitter filter
+};
+
+[[nodiscard]] std::string_view scenario_name(ScenarioKind kind) noexcept;
+[[nodiscard]] int scenario_id_count(ScenarioKind kind) noexcept;
+[[nodiscard]] bool scenario_inferable(ScenarioKind kind) noexcept;
+
+inline constexpr std::array<ScenarioKind, 6> kAllScenarios = {
+    ScenarioKind::kFlood,  ScenarioKind::kSingle, ScenarioKind::kMulti2,
+    ScenarioKind::kMulti3, ScenarioKind::kMulti4, ScenarioKind::kWeak,
+};
+
+/// A fully-built attacker: the node (to hand to the bus) plus the ground
+/// truth needed for scoring.
+struct BuiltAttack {
+  std::unique_ptr<InjectionNode> node;
+  /// IDs the attacker will inject (empty for flooding: unbounded set).
+  std::vector<std::uint32_t> planned_ids;
+  ScenarioKind kind;
+};
+
+/// Factory helpers for each scenario. `rng` drives all random choices so
+/// experiments are reproducible.
+[[nodiscard]] BuiltAttack make_flooding_attack(const AttackConfig& config,
+                                               util::Rng rng,
+                                               std::uint32_t id_floor = 0x001,
+                                               std::uint32_t id_ceiling = 0x07F);
+
+[[nodiscard]] BuiltAttack make_single_id_attack(const AttackConfig& config,
+                                                std::uint32_t id,
+                                                util::Rng rng);
+
+[[nodiscard]] BuiltAttack make_multi_id_attack(const AttackConfig& config,
+                                               std::vector<std::uint32_t> ids,
+                                               util::Rng rng);
+
+/// Weak adversary: compromised ECU with a transmitter filter. `legal_ids`
+/// is the ECU's assigned set; the attacker abuses `ids_to_use` of them
+/// (must be a subset; enforced by the filter regardless).
+[[nodiscard]] BuiltAttack make_weak_attack(const AttackConfig& config,
+                                           std::vector<std::uint32_t> legal_ids,
+                                           std::vector<std::uint32_t> ids_to_use,
+                                           util::Rng rng);
+
+/// Build the standard instance of a scenario against a synthetic vehicle:
+/// picks attack IDs from the vehicle's pool the way the paper describes
+/// (single/multi choose injectable legal IDs; weak uses one ECU's set).
+[[nodiscard]] BuiltAttack make_scenario(ScenarioKind kind,
+                                        const trace::SyntheticVehicle& vehicle,
+                                        const AttackConfig& config,
+                                        util::Rng rng);
+
+}  // namespace canids::attacks

@@ -1,0 +1,25 @@
+// Strong adversary, scenario 2 (§III.B.2): inject with one fixed identifier
+// to win arbitration over lower-priority traffic and/or feed a victim ECU
+// forged contents.
+#include "attacks/scenario.h"
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_single_id_attack(const AttackConfig& config, std::uint32_t id,
+                                  util::Rng rng) {
+  CANIDS_EXPECTS(id <= can::kMaxStdId);
+  auto selector = [id](std::uint32_t /*seq*/) {
+    return can::CanId::standard(id);
+  };
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kSingle;
+  attack.planned_ids = {id};
+  attack.node = std::make_unique<InjectionNode>("attacker-single", config,
+                                                std::move(selector), rng);
+  return attack;
+}
+
+}  // namespace canids::attacks

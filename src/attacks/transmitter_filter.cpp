@@ -1,0 +1,30 @@
+#include "attacks/transmitter_filter.h"
+
+#include <algorithm>
+
+namespace canids::attacks {
+
+TransmitterFilter::TransmitterFilter(std::vector<std::uint32_t> allowed)
+    : allowed_(std::move(allowed)) {
+  std::sort(allowed_.begin(), allowed_.end());
+  allowed_.erase(std::unique(allowed_.begin(), allowed_.end()),
+                 allowed_.end());
+}
+
+bool TransmitterFilter::allows(const can::Frame& frame) const noexcept {
+  if (frame.id().is_extended()) return false;  // vehicle uses standard IDs
+  return std::binary_search(allowed_.begin(), allowed_.end(),
+                            frame.id().raw());
+}
+
+std::function<bool(const can::Frame&)> TransmitterFilter::as_predicate()
+    const {
+  // Copy the (small) allowed set so the predicate outlives the filter.
+  return [allowed = allowed_](const can::Frame& frame) {
+    if (frame.id().is_extended()) return false;
+    return std::binary_search(allowed.begin(), allowed.end(),
+                              frame.id().raw());
+  };
+}
+
+}  // namespace canids::attacks

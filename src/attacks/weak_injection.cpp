@@ -1,0 +1,46 @@
+// Weak adversary, scenario 4 (§III.B.4): the compromised ECU sits behind a
+// transmitter filter and can only emit its own assigned identifiers, but it
+// raises their frequency far beyond the legitimate schedule to grab the bus.
+#include "attacks/scenario.h"
+
+#include <algorithm>
+
+#include "attacks/transmitter_filter.h"
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_weak_attack(const AttackConfig& config,
+                             std::vector<std::uint32_t> legal_ids,
+                             std::vector<std::uint32_t> ids_to_use,
+                             util::Rng rng) {
+  CANIDS_EXPECTS(!legal_ids.empty());
+  CANIDS_EXPECTS(!ids_to_use.empty());
+  std::sort(ids_to_use.begin(), ids_to_use.end());
+  ids_to_use.erase(std::unique(ids_to_use.begin(), ids_to_use.end()),
+                   ids_to_use.end());
+  for (std::uint32_t id : ids_to_use) {
+    CANIDS_EXPECTS(std::find(legal_ids.begin(), legal_ids.end(), id) !=
+                   legal_ids.end());
+  }
+
+  // As in the multi-ID scenario, the rate applies per abused identifier.
+  AttackConfig aggregate = config;
+  aggregate.frequency_hz =
+      config.frequency_hz * static_cast<double>(ids_to_use.size());
+
+  auto selector = [ids = ids_to_use](std::uint32_t seq) {
+    return can::CanId::standard(ids[seq % ids.size()]);
+  };
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kWeak;
+  attack.planned_ids = ids_to_use;
+  attack.node = std::make_unique<InjectionNode>("attacker-weak", aggregate,
+                                                std::move(selector), rng);
+  attack.node->set_transmit_filter(
+      TransmitterFilter(std::move(legal_ids)).as_predicate());
+  return attack;
+}
+
+}  // namespace canids::attacks

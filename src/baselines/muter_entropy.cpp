@@ -1,0 +1,105 @@
+#include "baselines/muter_entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace canids::baselines {
+
+double id_distribution_entropy(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts,
+    std::uint64_t total) noexcept {
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const auto& [id, count] : counts) {
+    if (count == 0) continue;
+    const double q =
+        static_cast<double>(count) / static_cast<double>(total);
+    entropy -= q * std::log2(q);
+  }
+  return entropy;
+}
+
+SymbolEntropyAccumulator::SymbolEntropyAccumulator(util::TimeNs window)
+    : window_(window) {
+  CANIDS_EXPECTS(window_ > 0);
+}
+
+SymbolWindow SymbolEntropyAccumulator::snapshot(util::TimeNs end) const {
+  SymbolWindow out;
+  out.start = window_start_;
+  out.end = end;
+  out.frames = total_;
+  out.entropy = id_distribution_entropy(counts_, total_);
+  out.distinct_ids = counts_.size();
+  return out;
+}
+
+std::optional<SymbolWindow> SymbolEntropyAccumulator::add(
+    util::TimeNs timestamp, std::uint32_t id) {
+  std::optional<SymbolWindow> emitted;
+  if (!started_) {
+    started_ = true;
+    window_start_ = timestamp;
+  }
+  if (timestamp >= window_start_ + window_) {
+    if (total_ > 0) emitted = snapshot(window_start_ + window_);
+    counts_.clear();
+    total_ = 0;
+    const auto periods = (timestamp - window_start_) / window_;
+    window_start_ += periods * window_;
+  }
+  ++counts_[id];
+  ++total_;
+  last_timestamp_ = timestamp;
+  return emitted;
+}
+
+std::optional<SymbolWindow> SymbolEntropyAccumulator::flush() {
+  if (total_ == 0) return std::nullopt;
+  const SymbolWindow out = snapshot(last_timestamp_);
+  counts_.clear();
+  total_ = 0;
+  window_start_ = last_timestamp_;
+  return out;
+}
+
+std::size_t SymbolEntropyAccumulator::state_bytes() const noexcept {
+  // One bucket per distinct identifier plus the hash-table overhead; we
+  // charge only the payload (key + count) to be generous to the baseline.
+  return counts_.size() *
+             (sizeof(std::uint32_t) + sizeof(std::uint64_t)) +
+         sizeof(total_);
+}
+
+MuterEntropyIds::MuterEntropyIds(const std::vector<SymbolWindow>& training,
+                                 MuterConfig config)
+    : config_(config) {
+  CANIDS_EXPECTS(training.size() >= 2);
+  CANIDS_EXPECTS(config_.alpha > 0.0);
+  double sum = 0.0;
+  double lo = training.front().entropy;
+  double hi = training.front().entropy;
+  for (const SymbolWindow& w : training) {
+    sum += w.entropy;
+    lo = std::min(lo, w.entropy);
+    hi = std::max(hi, w.entropy);
+  }
+  mean_ = sum / static_cast<double>(training.size());
+  threshold_ = std::max(config_.alpha * (hi - lo), config_.min_threshold);
+}
+
+MuterEntropyIds::Result MuterEntropyIds::evaluate(
+    const SymbolWindow& window) const {
+  Result result;
+  result.entropy = window.entropy;
+  if (window.frames < config_.min_window_frames) return result;
+  result.evaluated = true;
+  result.deviation = std::abs(window.entropy - mean_);
+  result.threshold = threshold_;
+  result.alert = result.deviation > threshold_;
+  return result;
+}
+
+}  // namespace canids::baselines

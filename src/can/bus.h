@@ -1,0 +1,131 @@
+// Discrete-event CAN bus simulator.
+//
+// The simulator advances a nanosecond clock. Whenever the bus is idle it
+// gathers every enabled node with a pending frame, runs bitwise arbitration
+// (arbitration.h), lets the winner transmit for exactly the frame's on-wire
+// duration (bitstream.h), delivers the frame to every listener, and applies
+// the interframe space before the next round. Losers retry after the
+// configured back-off, reproducing CAN's priority inversion — the physical
+// mechanism behind the paper's injection-rate curve (Fig. 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "can/arbitration.h"
+#include "can/bitstream.h"
+#include "can/node.h"
+#include "util/time.h"
+
+namespace canids::can {
+
+struct BusConfig {
+  /// 125 kbit/s mid-speed CAN by default (the bus the paper measured);
+  /// 500 kbit/s for high-speed CAN.
+  std::uint32_t bitrate_bps = 125'000;
+  /// Interframe space between consecutive frames (ISO: 3 bit times).
+  int interframe_bits = 3;
+  /// Back-off applied to arbitration losers before re-entering contention;
+  /// the paper quotes "six clocks after the end of the last message".
+  int retry_delay_bits = 6;
+  /// Transceiver guard configuration applied to every node.
+  TransceiverConfig transceiver;
+};
+
+struct BusStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t arbitration_rounds = 0;
+  std::uint64_t contested_rounds = 0;  ///< rounds with >= 2 contenders
+  std::uint64_t collisions = 0;        ///< identical-arbitration-field ties
+  std::uint64_t error_frames = 0;      ///< transmissions destroyed by faults
+  std::uint64_t bus_off_events = 0;    ///< nodes that reached bus-off
+  util::TimeNs busy_time = 0;
+  util::TimeNs observed_time = 0;
+
+  /// Fraction of wall time the bus carried a frame.
+  [[nodiscard]] double load() const noexcept {
+    return observed_time == 0 ? 0.0
+                              : static_cast<double>(busy_time) /
+                                    static_cast<double>(observed_time);
+  }
+};
+
+class BusSimulator {
+ public:
+  explicit BusSimulator(BusConfig config = {});
+
+  /// Construct a node in place; the simulator owns it. Returns a reference
+  /// valid for the simulator's lifetime.
+  template <class NodeT, class... Args>
+  NodeT& emplace_node(Args&&... args) {
+    auto node = std::make_unique<NodeT>(std::forward<Args>(args)...);
+    NodeT& ref = *node;
+    add_node(std::move(node));
+    return ref;
+  }
+
+  /// Transfer ownership of an existing node; returns its index.
+  int add_node(std::unique_ptr<Node> node);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] Node& node(int index);
+  [[nodiscard]] const Node& node(int index) const;
+
+  /// Find a node index by name; -1 when absent.
+  [[nodiscard]] int find_node(std::string_view name) const noexcept;
+
+  /// Register an observer invoked for every frame that completes on the bus.
+  void add_listener(std::function<void(const TimedFrame&)> listener);
+
+  /// Install a transmission-fault hook: called for every frame about to
+  /// complete; returning true destroys it (models induced bit errors, the
+  /// bus-off attack of Cho & Shin that the paper cites as [10]). The
+  /// transmitter's TEC rises by 8, the frame stays queued for retry, and
+  /// the slot is consumed by an error frame. A node whose TEC exceeds 255
+  /// goes bus-off and is disabled.
+  void set_fault_hook(
+      std::function<bool(const TimedFrame&)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
+  /// Advance the simulation until the clock reaches `end`. May be called
+  /// repeatedly; time is monotone across calls.
+  void run_until(util::TimeNs end);
+
+  /// Model a raw dominant bus-hold by `node_index` (the zero-flood DoS the
+  /// paper's §III.B.1 discusses). The transceiver guard trips once the hold
+  /// exceeds its timeout, after which the node is disabled and the bus
+  /// released. Returns the duration the bus was actually held.
+  util::TimeNs hold_bus_dominant(int node_index, util::TimeNs duration);
+
+  [[nodiscard]] const BusConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] util::TimeNs now() const noexcept { return now_; }
+
+  /// Duration of one bit on this bus.
+  [[nodiscard]] util::TimeNs bit_time() const noexcept { return bit_time_; }
+
+ private:
+  /// Collect indices of nodes allowed to contend at `now_`.
+  [[nodiscard]] std::vector<int> eligible_contenders() const;
+
+  /// Earliest time any node could next become active (production or retry).
+  [[nodiscard]] util::TimeNs next_activity_time() const;
+
+  void deliver(const TimedFrame& frame);
+
+  BusConfig config_;
+  util::TimeNs bit_time_;
+  util::TimeNs now_ = 0;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::function<void(const TimedFrame&)>> listeners_;
+  std::function<bool(const TimedFrame&)> fault_hook_;
+  BusStats stats_;
+};
+
+}  // namespace canids::can

@@ -1,0 +1,11 @@
+#include "can/crc15.h"
+
+namespace canids::can {
+
+std::uint16_t crc15_of(std::span<const std::uint8_t> bytes) noexcept {
+  Crc15 crc;
+  crc.push_bytes(bytes);
+  return crc.value();
+}
+
+}  // namespace canids::can

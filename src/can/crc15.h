@@ -1,0 +1,48 @@
+// CRC-15/CAN as specified by ISO 11898-1: polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1 (0x4599), init 0,
+// no reflection, no final XOR. The CRC is computed over the unstuffed bit
+// sequence from SOF through the last data bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace canids::can {
+
+inline constexpr std::uint16_t kCrc15Polynomial = 0x4599;
+inline constexpr std::uint16_t kCrc15Mask = 0x7FFF;
+
+/// Incremental CRC-15 register (bit-at-a-time, as the hardware shifts).
+class Crc15 {
+ public:
+  /// Shift in a single bit (MSB-first order on the wire).
+  constexpr void push_bit(bool bit) noexcept {
+    const bool crc_msb = (reg_ & 0x4000) != 0;
+    reg_ = static_cast<std::uint16_t>((reg_ << 1) & kCrc15Mask);
+    if (bit != crc_msb) reg_ ^= kCrc15Polynomial;
+  }
+
+  /// Shift in the bits of `value`, MSB-first, `count` bits wide.
+  constexpr void push_bits(std::uint32_t value, int count) noexcept {
+    for (int i = count - 1; i >= 0; --i) {
+      push_bit(((value >> i) & 1u) != 0);
+    }
+  }
+
+  /// Shift in whole bytes MSB-first.
+  constexpr void push_bytes(std::span<const std::uint8_t> bytes) noexcept {
+    for (std::uint8_t b : bytes) push_bits(b, 8);
+  }
+
+  [[nodiscard]] constexpr std::uint16_t value() const noexcept { return reg_; }
+
+  constexpr void reset() noexcept { reg_ = 0; }
+
+ private:
+  std::uint16_t reg_ = 0;
+};
+
+/// One-shot CRC over a byte sequence (MSB-first per byte).
+[[nodiscard]] std::uint16_t crc15_of(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace canids::can

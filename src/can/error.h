@@ -1,0 +1,72 @@
+// CAN fault confinement (ISO 11898-1 §8): every node keeps a transmit and a
+// receive error counter; crossing 127 demotes it to error-passive and
+// crossing 255 removes it from the bus ("bus-off").
+//
+// This is the machinery behind the paper's reference [10] (Cho & Shin,
+// "Error handling of in-vehicle networks makes them vulnerable"): an
+// adversary that forces bit errors into a victim's frames drives the
+// victim's TEC up by 8 per frame while recovering its own counter, until
+// the victim bus-offs and its periodic messages vanish — a message
+// *suppression* attack. The entropy IDS observes that suppression as a
+// probability shift just like an injection (tests/integration cover it).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace canids::can {
+
+/// Fault-confinement state derived from the error counters.
+enum class FaultState : std::uint8_t {
+  kErrorActive,   ///< normal operation
+  kErrorPassive,  ///< TEC or REC > 127: may only send passive error flags
+  kBusOff,        ///< TEC > 255: transmitter disconnected
+};
+
+/// ISO 11898-1 error counters with the standard increments/decrements.
+class ErrorCounters {
+ public:
+  /// Transmitter detected an error in its own frame: TEC += 8.
+  void on_transmit_error() noexcept {
+    if (state() == FaultState::kBusOff) return;
+    tec_ += 8;
+  }
+
+  /// Successful transmission: TEC -= 1 (floor 0).
+  void on_transmit_success() noexcept { tec_ = std::max(0, tec_ - 1); }
+
+  /// Receiver detected an error: REC += 1 (the spec's common case).
+  void on_receive_error() noexcept {
+    if (state() == FaultState::kBusOff) return;
+    rec_ += 1;
+  }
+
+  /// Successful reception: REC -= 1 (floor 0).
+  void on_receive_success() noexcept { rec_ = std::max(0, rec_ - 1); }
+
+  [[nodiscard]] int transmit_errors() const noexcept { return tec_; }
+  [[nodiscard]] int receive_errors() const noexcept { return rec_; }
+
+  [[nodiscard]] FaultState state() const noexcept {
+    if (tec_ > 255) return FaultState::kBusOff;
+    if (tec_ > 127 || rec_ > 127) return FaultState::kErrorPassive;
+    return FaultState::kErrorActive;
+  }
+
+  [[nodiscard]] bool bus_off() const noexcept {
+    return state() == FaultState::kBusOff;
+  }
+
+  /// Bus-off recovery (128 occurrences of 11 recessive bits, modelled as an
+  /// explicit reset by the application).
+  void reset() noexcept {
+    tec_ = 0;
+    rec_ = 0;
+  }
+
+ private:
+  int tec_ = 0;
+  int rec_ = 0;
+};
+
+}  // namespace canids::can

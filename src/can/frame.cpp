@@ -1,0 +1,53 @@
+#include "can/frame.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace canids::can {
+
+std::string CanId::to_string() const {
+  char buf[16];
+  if (is_extended()) {
+    std::snprintf(buf, sizeof buf, "%08X", raw_);
+  } else {
+    std::snprintf(buf, sizeof buf, "%03X", raw_);
+  }
+  return buf;
+}
+
+Frame Frame::data_frame(CanId id, std::span<const std::uint8_t> payload) {
+  CANIDS_EXPECTS(payload.size() <= kMaxDataBytes);
+  Frame f;
+  f.id_ = id;
+  f.remote_ = false;
+  f.dlc_ = static_cast<std::uint8_t>(payload.size());
+  std::copy(payload.begin(), payload.end(), f.data_.begin());
+  return f;
+}
+
+Frame Frame::remote_frame(CanId id, std::uint8_t dlc) {
+  CANIDS_EXPECTS(dlc <= kMaxDataBytes);
+  Frame f;
+  f.id_ = id;
+  f.remote_ = true;
+  f.dlc_ = dlc;
+  return f;
+}
+
+std::string Frame::to_string() const {
+  std::string out = id_.to_string();
+  out.push_back('#');
+  if (remote_) {
+    out.push_back('R');
+    out += std::to_string(static_cast<int>(dlc_));
+    return out;
+  }
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  for (std::uint8_t i = 0; i < dlc_; ++i) {
+    out.push_back(kHex[data_[i] >> 4]);
+    out.push_back(kHex[data_[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace canids::can

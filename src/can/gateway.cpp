@@ -1,0 +1,75 @@
+#include "can/gateway.h"
+
+#include "util/contracts.h"
+
+namespace canids::can {
+
+GatewayFilter::GatewayFilter(GatewayConfig config) : config_(config) {
+  CANIDS_EXPECTS(config_.max_frames_per_second > 0.0);
+  CANIDS_EXPECTS(config_.novelty_threshold >= 1);
+  CANIDS_EXPECTS(config_.window > 0);
+}
+
+void GatewayFilter::learn(const CanId& id) {
+  CANIDS_EXPECTS(!frozen_);
+  known_.insert({id.raw(), id.is_extended()});
+}
+
+void GatewayFilter::learn_pool(const std::vector<std::uint32_t>& standard_ids) {
+  for (std::uint32_t raw : standard_ids) {
+    learn(CanId::standard(raw));
+  }
+}
+
+void GatewayFilter::finish_learning() {
+  CANIDS_EXPECTS(!frozen_);
+  frozen_ = true;
+}
+
+GatewayFilter::Verdict GatewayFilter::observe(const TimedFrame& frame) {
+  CANIDS_EXPECTS(frozen_);
+  Verdict verdict;
+  SourceState& state = sources_[frame.source_node];
+
+  if (frame.timestamp >= state.window_start + config_.window) {
+    state.window_start = frame.timestamp;
+    state.frames_in_window = 0;
+    state.novel_high_priority.clear();
+  }
+
+  ++state.frames_in_window;
+  const double budget = config_.max_frames_per_second *
+                        util::to_seconds(config_.window);
+  if (static_cast<double>(state.frames_in_window) > budget) {
+    verdict.rate_exceeded = true;
+    state.flagged = true;
+  }
+
+  const CanId id = frame.frame.id();
+  const bool known = known_.count({id.raw(), id.is_extended()}) > 0;
+  if (!known && !id.is_extended() &&
+      id.raw() < config_.high_priority_ceiling) {
+    state.novel_high_priority.insert(id.raw());
+    if (static_cast<int>(state.novel_high_priority.size()) >=
+        config_.novelty_threshold) {
+      verdict.novelty_flagged = true;
+      state.flagged = true;
+    }
+  }
+  return verdict;
+}
+
+bool GatewayFilter::node_flagged(int source_node) const noexcept {
+  const auto it = sources_.find(source_node);
+  return it != sources_.end() && it->second.flagged;
+}
+
+std::vector<int> GatewayFilter::flagged_nodes() const {
+  std::vector<int> out;
+  for (const auto& [node, state] : sources_) {
+    if (state.flagged) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace canids::can

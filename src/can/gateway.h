@@ -1,0 +1,76 @@
+// Gateway-level filtering, the complementary defence the paper repeatedly
+// leans on (§III.B, §V.D): a central gateway that (a) rate-limits each
+// physical sender and (b) flags senders emitting bursts of high-priority
+// identifiers never seen during commissioning. Flooding with changeable IDs
+// evades per-ID filters but not this per-source view — which is why the
+// paper argues sustained flooding "will be easily detected by the filter in
+// the gateway" while short, targeted injections still need the entropy IDS.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "can/frame.h"
+#include "util/time.h"
+
+namespace canids::can {
+
+struct GatewayConfig {
+  /// Per-source frame budget per accounting window.
+  double max_frames_per_second = 250.0;
+  /// Distinct never-commissioned high-priority IDs from one source within
+  /// a window before the source is flagged as a flooder.
+  int novelty_threshold = 6;
+  /// IDs strictly below this value count as high priority for novelty.
+  std::uint32_t high_priority_ceiling = 0x100;
+  /// Accounting window.
+  util::TimeNs window = util::kSecond;
+};
+
+/// Per-source traffic police. Learn the commissioned ID set first, then
+/// feed every delivered frame; sources that exceed the rate budget or spray
+/// novel high-priority identifiers are flagged (and stay flagged).
+class GatewayFilter {
+ public:
+  explicit GatewayFilter(GatewayConfig config = {});
+
+  /// Commissioning phase: record a legitimate identifier.
+  void learn(const CanId& id);
+  /// Convenience: commission a whole ID pool.
+  void learn_pool(const std::vector<std::uint32_t>& standard_ids);
+  /// Freeze the commissioned set; observe() requires this.
+  void finish_learning();
+
+  struct Verdict {
+    bool rate_exceeded = false;
+    bool novelty_flagged = false;
+  };
+
+  /// Account one delivered frame. `frame.source_node` keys the per-source
+  /// state (gateways know their physical ports the same way).
+  Verdict observe(const TimedFrame& frame);
+
+  [[nodiscard]] bool node_flagged(int source_node) const noexcept;
+  [[nodiscard]] std::vector<int> flagged_nodes() const;
+  [[nodiscard]] bool learning_finished() const noexcept { return frozen_; }
+  [[nodiscard]] std::size_t commissioned_ids() const noexcept {
+    return known_.size();
+  }
+
+ private:
+  struct SourceState {
+    util::TimeNs window_start = 0;
+    std::uint64_t frames_in_window = 0;
+    std::set<std::uint32_t> novel_high_priority;  // within current window
+    bool flagged = false;
+  };
+
+  GatewayConfig config_;
+  bool frozen_ = false;
+  std::set<std::pair<std::uint32_t, bool>> known_;  // (raw, extended)
+  std::unordered_map<int, SourceState> sources_;
+};
+
+}  // namespace canids::can

@@ -1,0 +1,67 @@
+// Transceiver-level protection: the TXD dominant-timeout guard found in real
+// CAN transceivers (e.g. NXP TJA104x). If a node keeps the bus dominant for
+// longer than the timeout, the transceiver releases the bus and disables the
+// transmitter. The paper (§III.B.1) notes this is why flooding with the
+// all-dominant identifier 0x000 fails, pushing attackers toward changeable
+// high-priority IDs — the scenario the entropy IDS is designed to catch.
+#pragma once
+
+#include <cstdint>
+
+#include "can/frame.h"
+#include "util/time.h"
+
+namespace canids::can {
+
+struct TransceiverConfig {
+  /// Continuous dominant time after which the transmitter is cut off.
+  /// Datasheet values are in the 0.3..4 ms range; default 0.8 ms.
+  util::TimeNs dominant_timeout = 800 * util::kMicrosecond;
+  /// Whether the guard is active at all.
+  bool enabled = true;
+};
+
+/// Per-node dominant-timeout guard. The bus simulator reports every span of
+/// time a node held the bus dominant; the guard trips (permanently, until
+/// reset) when one continuous span exceeds the timeout.
+class DominantTimeoutGuard {
+ public:
+  explicit DominantTimeoutGuard(TransceiverConfig config = {}) noexcept
+      : config_(config) {}
+
+  /// Report that the node drove the bus dominant for `duration` without
+  /// interruption. Returns true if this span tripped the guard.
+  bool on_dominant_span(util::TimeNs duration) noexcept {
+    if (!config_.enabled || tripped_) return tripped_;
+    if (duration > config_.dominant_timeout) tripped_ = true;
+    if (duration > longest_span_) longest_span_ = duration;
+    return tripped_;
+  }
+
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
+  [[nodiscard]] util::TimeNs longest_span() const noexcept {
+    return longest_span_;
+  }
+
+  /// Re-enable the transmitter (models a transceiver reset).
+  void reset() noexcept {
+    tripped_ = false;
+    longest_span_ = 0;
+  }
+
+  [[nodiscard]] const TransceiverConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  TransceiverConfig config_;
+  bool tripped_ = false;
+  util::TimeNs longest_span_ = 0;
+};
+
+/// Longest run of dominant bits in a frame's on-wire serialization. Used to
+/// show that well-formed frames can never trip the guard (stuffing bounds
+/// runs at 5) while a raw bus-hold does.
+[[nodiscard]] int longest_dominant_run(const Frame& frame);
+
+}  // namespace canids::can

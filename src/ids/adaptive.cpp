@@ -1,0 +1,59 @@
+#include "ids/adaptive.h"
+
+#include "util/contracts.h"
+
+namespace canids::ids {
+
+AdaptiveDetector::AdaptiveDetector(GoldenTemplate golden,
+                                   DetectorConfig detector_config,
+                                   AdaptiveConfig adaptive_config)
+    : golden_(std::move(golden)),
+      detector_config_(detector_config),
+      adaptive_(adaptive_config),
+      detector_(golden_, detector_config_) {
+  CANIDS_EXPECTS(adaptive_.ewma_alpha >= 0.0 && adaptive_.ewma_alpha < 1.0);
+}
+
+DetectionResult AdaptiveDetector::evaluate(
+    const WindowSnapshot& window) const {
+  return detector_.evaluate(window);
+}
+
+DetectionResult AdaptiveDetector::evaluate_and_update(
+    const WindowSnapshot& window) {
+  const DetectionResult result = detector_.evaluate(window);
+  if (adaptive_.ewma_alpha <= 0.0 || !result.evaluated) return result;
+  if (result.alert && !adaptive_.update_on_alert) {
+    ++suppressed_;
+    return result;
+  }
+  fold_in(window);
+  return result;
+}
+
+void AdaptiveDetector::fold_in(const WindowSnapshot& window) {
+  const double a = adaptive_.ewma_alpha;
+  for (int bit = 0; bit < golden_.width; ++bit) {
+    const auto b = static_cast<std::size_t>(bit);
+    golden_.mean_entropy[b] =
+        (1.0 - a) * golden_.mean_entropy[b] + a * window.entropies[b];
+    golden_.mean_probability[b] =
+        (1.0 - a) * golden_.mean_probability[b] + a * window.probabilities[b];
+  }
+  if (golden_.has_pairs() && window.has_pairs()) {
+    for (std::size_t idx = 0; idx < golden_.mean_pair_probability.size();
+         ++idx) {
+      golden_.mean_pair_probability[idx] =
+          (1.0 - a) * golden_.mean_pair_probability[idx] +
+          a * window.pair_probabilities[idx];
+    }
+  }
+  ++updates_;
+  rebuild_detector();
+}
+
+void AdaptiveDetector::rebuild_detector() {
+  detector_ = Detector(golden_, detector_config_);
+}
+
+}  // namespace canids::ids

@@ -1,0 +1,61 @@
+// Adaptive golden template — a forward-looking extension the paper's static
+// template invites: traffic mixes drift over a vehicle's life (new ECU
+// firmware, seasonal accessories), so the template's per-bit means follow
+// clean windows with an exponentially-weighted moving average. Updates are
+// suspended on alerting windows so an attacker cannot slowly poison the
+// baseline. Disabled by default; the paper-faithful detector is static.
+#pragma once
+
+#include "ids/detector.h"
+
+namespace canids::ids {
+
+struct AdaptiveConfig {
+  /// EWMA weight of the newest clean window (0 disables adaptation).
+  double ewma_alpha = 0.02;
+  /// When false (default, recommended), alerting windows never update the
+  /// template — the anti-poisoning guard.
+  bool update_on_alert = false;
+};
+
+/// A Detector whose template means track clean traffic. Thresholds are
+/// re-derived from the (fixed) training ranges, so adaptation shifts the
+/// centre of the band without widening it.
+class AdaptiveDetector {
+ public:
+  AdaptiveDetector(GoldenTemplate golden, DetectorConfig detector_config = {},
+                   AdaptiveConfig adaptive_config = {});
+
+  /// Judge the window, then (if clean or allowed) fold it into the
+  /// template means.
+  DetectionResult evaluate_and_update(const WindowSnapshot& window);
+
+  /// Judge without updating (same as a static Detector on current state).
+  [[nodiscard]] DetectionResult evaluate(const WindowSnapshot& window) const;
+
+  [[nodiscard]] const GoldenTemplate& current_template() const noexcept {
+    return golden_;
+  }
+  [[nodiscard]] const AdaptiveConfig& adaptive_config() const noexcept {
+    return adaptive_;
+  }
+  [[nodiscard]] std::uint64_t updates_applied() const noexcept {
+    return updates_;
+  }
+  [[nodiscard]] std::uint64_t updates_suppressed() const noexcept {
+    return suppressed_;
+  }
+
+ private:
+  void fold_in(const WindowSnapshot& window);
+  void rebuild_detector();
+
+  GoldenTemplate golden_;
+  DetectorConfig detector_config_;
+  AdaptiveConfig adaptive_;
+  Detector detector_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace canids::ids

@@ -1,0 +1,21 @@
+// The paper's Definition (§IV.A): for a Bernoulli random variable X with
+// Pr(X=1) = p, the binary entropy in Shannon units is
+//   H_b(p) = -p log2 p - (1-p) log2 (1-p),
+// with the usual convention 0*log2(0) = 0 so H_b(0) = H_b(1) = 0.
+#pragma once
+
+namespace canids::ids {
+
+/// Binary entropy H_b(p) in [0,1]. Requires p in [0,1]; values outside are
+/// clamped (they only arise from floating-point round-off upstream).
+[[nodiscard]] double binary_entropy(double p) noexcept;
+
+/// Derivative dH_b/dp = log2((1-p)/p); +/-infinity at the endpoints is
+/// clamped to a large finite magnitude. Used by sensitivity diagnostics.
+[[nodiscard]] double binary_entropy_derivative(double p) noexcept;
+
+/// Inverse of H_b on the left branch: returns the p in [0, 0.5] with
+/// H_b(p) = h. Requires h in [0,1]; solved by bisection to ~1e-12.
+[[nodiscard]] double binary_entropy_inverse(double h) noexcept;
+
+}  // namespace canids::ids

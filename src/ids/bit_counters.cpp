@@ -1,0 +1,9 @@
+#include "ids/bit_counters.h"
+
+namespace canids::ids {
+
+template class BitCountersT<can::kStdIdBits>;
+template class BitCountersT<can::kExtIdBits>;
+template class PairCountersT<can::kStdIdBits>;
+
+}  // namespace canids::ids

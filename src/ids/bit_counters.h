@@ -1,0 +1,173 @@
+// The paper's O(1)-memory monitoring state (§V.E): one counter per ID bit
+// plus a frame total — 11 counters for standard CAN no matter how many
+// distinct identifiers appear on the bus, versus a per-ID histogram for the
+// whole-distribution entropy baseline [8].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "can/frame.h"
+#include "ids/binary_entropy.h"
+#include "util/contracts.h"
+
+namespace canids::ids {
+
+/// Per-bit '1' counters over a stream of identifiers, templated on the ID
+/// width (11 for CAN 2.0A, 29 for CAN 2.0B).
+template <int Width>
+class BitCountersT {
+  static_assert(Width > 0 && Width <= 32);
+
+ public:
+  static constexpr int kWidth = Width;
+
+  /// Count one identifier. Bit 0 is the MSB, matching CanId::bit.
+  void add(std::uint32_t raw_id) noexcept {
+    for (int i = 0; i < Width; ++i) {
+      ones_[static_cast<std::size_t>(i)] +=
+          (raw_id >> (Width - 1 - i)) & 1u;
+    }
+    ++total_;
+  }
+
+  void add(const can::CanId& id) {
+    CANIDS_EXPECTS(id.width() == Width);
+    add(id.raw());
+  }
+
+  void reset() noexcept {
+    ones_.fill(0);
+    total_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t ones(int bit) const {
+    CANIDS_EXPECTS(bit >= 0 && bit < Width);
+    return ones_[static_cast<std::size_t>(bit)];
+  }
+
+  /// p_i = (#messages with bit i == 1) / total. Requires a non-empty window.
+  [[nodiscard]] double probability(int bit) const {
+    CANIDS_EXPECTS(total_ > 0);
+    return static_cast<double>(ones(bit)) / static_cast<double>(total_);
+  }
+
+  [[nodiscard]] std::vector<double> probabilities() const {
+    std::vector<double> out(Width);
+    for (int i = 0; i < Width; ++i) out[static_cast<std::size_t>(i)] = probability(i);
+    return out;
+  }
+
+  /// Ĥ = {H_1 .. H_Width}, the per-bit binary entropy vector.
+  [[nodiscard]] std::vector<double> entropies() const {
+    std::vector<double> out(Width);
+    for (int i = 0; i < Width; ++i) {
+      out[static_cast<std::size_t>(i)] = binary_entropy(probability(i));
+    }
+    return out;
+  }
+
+  /// Exact memory footprint of the monitoring state in bytes; quoted in the
+  /// §V.E comparison benches.
+  [[nodiscard]] static constexpr std::size_t state_bytes() noexcept {
+    return sizeof(ones_) + sizeof(total_);
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Width)> ones_{};
+  std::uint64_t total_ = 0;
+};
+
+using BitCounters = BitCountersT<can::kStdIdBits>;
+using BitCounters29 = BitCountersT<can::kExtIdBits>;
+
+extern template class BitCountersT<can::kStdIdBits>;
+extern template class BitCountersT<can::kExtIdBits>;
+
+/// Number of unordered bit pairs (i < j) for a given ID width.
+[[nodiscard]] constexpr int pair_count(int width) noexcept {
+  return width * (width - 1) / 2;
+}
+
+/// Flat index of the pair (i, j), i < j, in the upper-triangle layout used
+/// by PairCountersT, WindowSnapshot::pair_probabilities and GoldenTemplate.
+[[nodiscard]] constexpr int pair_index(int i, int j, int width) noexcept {
+  return i * (2 * width - i - 1) / 2 + (j - i - 1);
+}
+
+/// Per-bit-pair co-occurrence counters: q_ij = Pr(bit_i = 1 AND bit_j = 1).
+///
+/// Still O(1) in the number of identifiers (55 counters for 11-bit IDs, on
+/// top of the 11 marginals), but far more informative for malicious-ID
+/// inference: mixing traffic is linear in q_ij exactly as in p_i, giving 66
+/// usable equations instead of 11. This powers the multi-ID inference
+/// extension described in DESIGN.md §6; the detector itself stays on the
+/// paper's 11 marginal entropies.
+template <int Width>
+class PairCountersT {
+  static_assert(Width > 0 && Width <= 32);
+
+ public:
+  static constexpr int kWidth = Width;
+  static constexpr int kPairs = pair_count(Width);
+
+  void add(std::uint32_t raw_id) noexcept {
+    marginals_.add(raw_id);
+    for (int i = 0; i < Width - 1; ++i) {
+      if (((raw_id >> (Width - 1 - i)) & 1u) == 0) continue;
+      for (int j = i + 1; j < Width; ++j) {
+        pair_ones_[static_cast<std::size_t>(pair_index(i, j, Width))] +=
+            (raw_id >> (Width - 1 - j)) & 1u;
+      }
+    }
+  }
+
+  void reset() noexcept {
+    marginals_.reset();
+    pair_ones_.fill(0);
+  }
+
+  [[nodiscard]] const BitCountersT<Width>& marginals() const noexcept {
+    return marginals_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return marginals_.total();
+  }
+
+  /// q_ij for i < j. Requires a non-empty window.
+  [[nodiscard]] double pair_probability(int i, int j) const {
+    CANIDS_EXPECTS(i >= 0 && i < j && j < Width);
+    CANIDS_EXPECTS(total() > 0);
+    return static_cast<double>(
+               pair_ones_[static_cast<std::size_t>(pair_index(i, j, Width))]) /
+           static_cast<double>(total());
+  }
+
+  /// All q_ij in flat upper-triangle order.
+  [[nodiscard]] std::vector<double> pair_probabilities() const {
+    std::vector<double> out(static_cast<std::size_t>(kPairs));
+    for (int i = 0; i < Width - 1; ++i) {
+      for (int j = i + 1; j < Width; ++j) {
+        out[static_cast<std::size_t>(pair_index(i, j, Width))] =
+            pair_probability(i, j);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] static constexpr std::size_t state_bytes() noexcept {
+    return BitCountersT<Width>::state_bytes() + sizeof(pair_ones_);
+  }
+
+ private:
+  BitCountersT<Width> marginals_;
+  std::array<std::uint64_t, static_cast<std::size_t>(kPairs)> pair_ones_{};
+};
+
+using PairCounters = PairCountersT<can::kStdIdBits>;
+
+extern template class PairCountersT<can::kStdIdBits>;
+
+}  // namespace canids::ids

@@ -1,0 +1,245 @@
+#include "ids/golden_template.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+
+namespace canids::ids {
+
+double GoldenTemplate::entropy_range(int bit) const {
+  CANIDS_EXPECTS(bit >= 0 && bit < width);
+  return max_entropy[static_cast<std::size_t>(bit)] -
+         min_entropy[static_cast<std::size_t>(bit)];
+}
+
+double GoldenTemplate::probability_range(int bit) const {
+  CANIDS_EXPECTS(bit >= 0 && bit < width);
+  return max_probability[static_cast<std::size_t>(bit)] -
+         min_probability[static_cast<std::size_t>(bit)];
+}
+
+std::string GoldenTemplate::serialize() const {
+  std::ostringstream out;
+  out << "canids-golden-template v1\n";
+  out << "width " << width << "\n";
+  out << "training_windows " << training_windows << "\n";
+  out << "# bit mean_H min_H max_H mean_p min_p max_p\n";
+  char line[256];
+  for (int i = 0; i < width; ++i) {
+    const auto b = static_cast<std::size_t>(i);
+    std::snprintf(line, sizeof line,
+                  "%d %.17g %.17g %.17g %.17g %.17g %.17g\n", i,
+                  mean_entropy[b], min_entropy[b], max_entropy[b],
+                  mean_probability[b], min_probability[b],
+                  max_probability[b]);
+    out << line;
+  }
+  if (has_pairs()) {
+    out << "# pair i j mean_q min_q max_q\n";
+    for (int i = 0; i < width - 1; ++i) {
+      for (int j = i + 1; j < width; ++j) {
+        const auto idx = static_cast<std::size_t>(pair_index(i, j, width));
+        std::snprintf(line, sizeof line, "pair %d %d %.17g %.17g %.17g\n", i,
+                      j, mean_pair_probability[idx],
+                      min_pair_probability[idx], max_pair_probability[idx]);
+        out << line;
+      }
+    }
+  }
+  return out.str();
+}
+
+GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+
+  if (!std::getline(in, line) ||
+      util::trim(line) != "canids-golden-template v1") {
+    throw std::runtime_error("golden template: bad magic line");
+  }
+
+  GoldenTemplate tpl;
+  tpl.width = 0;
+  std::size_t rows = 0;
+
+  auto parse_header = [&](const std::string& l) {
+    std::istringstream ls(l);
+    std::string key;
+    ls >> key;
+    if (key == "width") {
+      ls >> tpl.width;
+      if (!ls || tpl.width <= 0 || tpl.width > 32) {
+        throw std::runtime_error("golden template: bad width");
+      }
+      tpl.mean_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      tpl.min_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      tpl.max_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      tpl.mean_probability.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      tpl.min_probability.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      tpl.max_probability.assign(static_cast<std::size_t>(tpl.width), 0.0);
+      return true;
+    }
+    if (key == "training_windows") {
+      ls >> tpl.training_windows;
+      if (!ls) throw std::runtime_error("golden template: bad window count");
+      return true;
+    }
+    return false;
+  };
+
+  std::size_t pair_rows = 0;
+  while (std::getline(in, line)) {
+    const std::string_view body = util::trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    if (parse_header(line)) continue;
+
+    if (tpl.width == 0) {
+      throw std::runtime_error("golden template: data before width header");
+    }
+    if (body.starts_with("pair ")) {
+      if (tpl.mean_pair_probability.empty()) {
+        const auto pairs =
+            static_cast<std::size_t>(pair_count(tpl.width));
+        tpl.mean_pair_probability.assign(pairs, 0.0);
+        tpl.min_pair_probability.assign(pairs, 0.0);
+        tpl.max_pair_probability.assign(pairs, 0.0);
+      }
+      std::istringstream ls(line);
+      std::string tag;
+      int i = -1, j = -1;
+      double mean_q = 0, min_q = 0, max_q = 0;
+      ls >> tag >> i >> j >> mean_q >> min_q >> max_q;
+      if (!ls || i < 0 || j <= i || j >= tpl.width) {
+        throw std::runtime_error("golden template: bad pair row '" + line +
+                                 "'");
+      }
+      const auto idx = static_cast<std::size_t>(pair_index(i, j, tpl.width));
+      tpl.mean_pair_probability[idx] = mean_q;
+      tpl.min_pair_probability[idx] = min_q;
+      tpl.max_pair_probability[idx] = max_q;
+      ++pair_rows;
+      continue;
+    }
+    std::istringstream ls(line);
+    int bit = -1;
+    double mean_h = 0, min_h = 0, max_h = 0, mean_p = 0, min_p = 0, max_p = 0;
+    ls >> bit >> mean_h >> min_h >> max_h >> mean_p >> min_p >> max_p;
+    if (!ls || bit < 0 || bit >= tpl.width) {
+      throw std::runtime_error("golden template: bad data row '" + line + "'");
+    }
+    const auto b = static_cast<std::size_t>(bit);
+    tpl.mean_entropy[b] = mean_h;
+    tpl.min_entropy[b] = min_h;
+    tpl.max_entropy[b] = max_h;
+    tpl.mean_probability[b] = mean_p;
+    tpl.min_probability[b] = min_p;
+    tpl.max_probability[b] = max_p;
+    ++rows;
+  }
+  if (pair_rows != 0 &&
+      pair_rows != static_cast<std::size_t>(pair_count(tpl.width))) {
+    throw std::runtime_error("golden template: incomplete pair rows");
+  }
+
+  if (rows != static_cast<std::size_t>(tpl.width)) {
+    throw std::runtime_error("golden template: expected " +
+                             std::to_string(tpl.width) + " rows, got " +
+                             std::to_string(rows));
+  }
+  return tpl;
+}
+
+TemplateBuilder::TemplateBuilder(int width) : width_(width) {
+  CANIDS_EXPECTS(width_ > 0 && width_ <= 32);
+  const auto w = static_cast<std::size_t>(width_);
+  sum_entropy_.assign(w, 0.0);
+  min_entropy_.assign(w, 0.0);
+  max_entropy_.assign(w, 0.0);
+  sum_probability_.assign(w, 0.0);
+  min_probability_.assign(w, 0.0);
+  max_probability_.assign(w, 0.0);
+}
+
+void TemplateBuilder::add_window(const WindowSnapshot& window) {
+  CANIDS_EXPECTS(window.width() == width_);
+  CANIDS_EXPECTS(window.frames > 0);
+  for (int i = 0; i < width_; ++i) {
+    const auto b = static_cast<std::size_t>(i);
+    const double h = window.entropies[b];
+    const double p = window.probabilities[b];
+    if (windows_ == 0) {
+      min_entropy_[b] = max_entropy_[b] = h;
+      min_probability_[b] = max_probability_[b] = p;
+    } else {
+      min_entropy_[b] = std::min(min_entropy_[b], h);
+      max_entropy_[b] = std::max(max_entropy_[b], h);
+      min_probability_[b] = std::min(min_probability_[b], p);
+      max_probability_[b] = std::max(max_probability_[b], p);
+    }
+    sum_entropy_[b] += h;
+    sum_probability_[b] += p;
+  }
+  if (window.has_pairs()) {
+    const auto pairs = static_cast<std::size_t>(pair_count(width_));
+    CANIDS_EXPECTS(window.pair_probabilities.size() == pairs);
+    if (sum_pair_.empty()) {
+      sum_pair_.assign(pairs, 0.0);
+      min_pair_.assign(pairs, 0.0);
+      max_pair_.assign(pairs, 0.0);
+    }
+    for (std::size_t idx = 0; idx < pairs; ++idx) {
+      const double q = window.pair_probabilities[idx];
+      if (windows_with_pairs_ == 0) {
+        min_pair_[idx] = max_pair_[idx] = q;
+      } else {
+        min_pair_[idx] = std::min(min_pair_[idx], q);
+        max_pair_[idx] = std::max(max_pair_[idx], q);
+      }
+      sum_pair_[idx] += q;
+    }
+    ++windows_with_pairs_;
+  }
+  ++windows_;
+}
+
+GoldenTemplate TemplateBuilder::build(std::size_t min_windows) const {
+  CANIDS_EXPECTS(min_windows >= 2);
+  if (windows_ < min_windows) {
+    throw std::runtime_error(
+        "golden template needs at least " + std::to_string(min_windows) +
+        " training windows, got " + std::to_string(windows_));
+  }
+  GoldenTemplate tpl;
+  tpl.width = width_;
+  tpl.training_windows = windows_;
+  const auto w = static_cast<std::size_t>(width_);
+  tpl.mean_entropy.resize(w);
+  tpl.mean_probability.resize(w);
+  for (std::size_t b = 0; b < w; ++b) {
+    tpl.mean_entropy[b] = sum_entropy_[b] / static_cast<double>(windows_);
+    tpl.mean_probability[b] =
+        sum_probability_[b] / static_cast<double>(windows_);
+  }
+  tpl.min_entropy = min_entropy_;
+  tpl.max_entropy = max_entropy_;
+  tpl.min_probability = min_probability_;
+  tpl.max_probability = max_probability_;
+  // Pair statistics are only meaningful when every window supplied them.
+  if (windows_with_pairs_ == windows_ && windows_with_pairs_ > 0) {
+    const auto pairs = static_cast<std::size_t>(pair_count(width_));
+    tpl.mean_pair_probability.resize(pairs);
+    for (std::size_t idx = 0; idx < pairs; ++idx) {
+      tpl.mean_pair_probability[idx] =
+          sum_pair_[idx] / static_cast<double>(windows_);
+    }
+    tpl.min_pair_probability = min_pair_;
+    tpl.max_pair_probability = max_pair_;
+  }
+  return tpl;
+}
+
+}  // namespace canids::ids

@@ -1,0 +1,45 @@
+#include "ids/pipeline.h"
+
+namespace canids::ids {
+
+IdsPipeline::IdsPipeline(GoldenTemplate golden,
+                         std::vector<std::uint32_t> id_pool,
+                         PipelineConfig config)
+    : config_(config),
+      accumulator_(config.window),
+      detector_(golden, config.detector),
+      inference_(std::move(golden), std::move(id_pool), config.inference) {}
+
+WindowReport IdsPipeline::judge(WindowSnapshot snapshot) {
+  WindowReport report;
+  report.detection = detector_.evaluate(snapshot);
+  ++counters_.windows_closed;
+  if (report.detection.evaluated) ++counters_.windows_evaluated;
+  if (report.detection.alert) {
+    ++counters_.alerts;
+    if (config_.infer_on_alert) {
+      report.inference = inference_.infer(snapshot);
+    }
+  }
+  report.snapshot = std::move(snapshot);
+  if (report.detection.alert && alert_handler_) alert_handler_(report);
+  return report;
+}
+
+std::optional<WindowReport> IdsPipeline::on_frame(util::TimeNs timestamp,
+                                                  const can::CanId& id) {
+  ++counters_.frames;
+  if (auto snapshot = accumulator_.add(timestamp, id)) {
+    return judge(std::move(*snapshot));
+  }
+  return std::nullopt;
+}
+
+std::optional<WindowReport> IdsPipeline::finish() {
+  if (auto snapshot = accumulator_.flush()) {
+    return judge(std::move(*snapshot));
+  }
+  return std::nullopt;
+}
+
+}  // namespace canids::ids

@@ -1,0 +1,80 @@
+// End-to-end IDS pipeline: identifier stream -> windows -> detection ->
+// (on alert) malicious-ID inference. This is the object an integrator
+// attaches to a CAN interface; it is deliberately independent of the bus
+// simulator and the trace formats.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ids/detector.h"
+#include "ids/inference.h"
+#include "ids/window.h"
+
+namespace canids::ids {
+
+struct PipelineConfig {
+  WindowConfig window;
+  DetectorConfig detector;
+  InferenceConfig inference;
+  /// Run ID inference on alerted windows (costs a candidate search).
+  bool infer_on_alert = true;
+};
+
+/// Everything known about one closed window.
+struct WindowReport {
+  WindowSnapshot snapshot;
+  DetectionResult detection;
+  /// Present when the window alerted and inference is enabled.
+  std::optional<InferenceResult> inference;
+};
+
+struct PipelineCounters {
+  std::uint64_t frames = 0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t windows_evaluated = 0;
+  std::uint64_t alerts = 0;
+};
+
+class IdsPipeline {
+ public:
+  IdsPipeline(GoldenTemplate golden, std::vector<std::uint32_t> id_pool,
+              PipelineConfig config = {});
+
+  /// Feed one frame. Returns the report of a window this frame closed, if
+  /// any (alerting or not; check report.detection.alert).
+  std::optional<WindowReport> on_frame(util::TimeNs timestamp,
+                                       const can::CanId& id);
+
+  /// Close and judge the partially-filled final window.
+  std::optional<WindowReport> finish();
+
+  /// Optional sink invoked for every alerting window.
+  void set_alert_handler(std::function<void(const WindowReport&)> handler) {
+    alert_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] const PipelineCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const Detector& detector() const noexcept { return detector_; }
+  [[nodiscard]] const InferenceEngine& inference_engine() const noexcept {
+    return inference_;
+  }
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] WindowReport judge(WindowSnapshot snapshot);
+
+  PipelineConfig config_;
+  WindowAccumulator accumulator_;
+  Detector detector_;
+  InferenceEngine inference_;
+  PipelineCounters counters_;
+  std::function<void(const WindowReport&)> alert_handler_;
+};
+
+}  // namespace canids::ids

@@ -1,0 +1,89 @@
+#include "ids/window.h"
+
+#include "util/contracts.h"
+
+namespace canids::ids {
+
+WindowAccumulator::WindowAccumulator(WindowConfig config) : config_(config) {
+  if (config_.mode == WindowConfig::Mode::kByTime) {
+    CANIDS_EXPECTS(config_.duration > 0);
+  } else {
+    CANIDS_EXPECTS(config_.frame_count > 0);
+  }
+}
+
+WindowSnapshot WindowAccumulator::snapshot(util::TimeNs end) const {
+  WindowSnapshot snap;
+  snap.start = window_start_;
+  snap.end = end;
+  snap.frames = counters_.total();
+  if (counters_.total() > 0) {
+    snap.probabilities = counters_.marginals().probabilities();
+    snap.entropies = counters_.marginals().entropies();
+    if (config_.track_pairs) {
+      snap.pair_probabilities = counters_.pair_probabilities();
+    }
+  } else {
+    snap.probabilities.assign(BitCounters::kWidth, 0.0);
+    snap.entropies.assign(BitCounters::kWidth, 0.0);
+  }
+  return snap;
+}
+
+std::optional<WindowSnapshot> WindowAccumulator::add(util::TimeNs timestamp,
+                                                     const can::CanId& id) {
+  std::optional<WindowSnapshot> emitted;
+
+  if (!started_) {
+    started_ = true;
+    window_start_ = timestamp;
+  }
+
+  if (config_.mode == WindowConfig::Mode::kByTime) {
+    if (timestamp >= window_start_ + config_.duration) {
+      if (counters_.total() > 0) {
+        emitted = snapshot(window_start_ + config_.duration);
+      }
+      counters_.reset();
+      // Advance the window origin to the boundary that contains this frame,
+      // skipping over silent windows entirely.
+      const auto gap = timestamp - window_start_;
+      const auto periods = gap / config_.duration;
+      window_start_ += periods * config_.duration;
+    }
+    counters_.add(id.raw());
+  } else {
+    counters_.add(id.raw());
+    if (counters_.total() >= config_.frame_count) {
+      emitted = snapshot(timestamp);
+      counters_.reset();
+      window_start_ = timestamp;
+    }
+  }
+
+  last_timestamp_ = timestamp;
+  return emitted;
+}
+
+std::optional<WindowSnapshot> WindowAccumulator::flush() {
+  if (counters_.total() == 0) return std::nullopt;
+  const WindowSnapshot snap = snapshot(last_timestamp_);
+  counters_.reset();
+  window_start_ = last_timestamp_;
+  return snap;
+}
+
+std::vector<WindowSnapshot> windows_of(
+    const std::vector<can::TimedFrame>& frames, const WindowConfig& config) {
+  WindowAccumulator acc(config);
+  std::vector<WindowSnapshot> out;
+  for (const can::TimedFrame& tf : frames) {
+    if (auto snap = acc.add(tf.timestamp, tf.frame.id())) {
+      out.push_back(std::move(*snap));
+    }
+  }
+  if (auto snap = acc.flush()) out.push_back(std::move(*snap));
+  return out;
+}
+
+}  // namespace canids::ids

@@ -1,0 +1,2 @@
+// confusion.h is header-only; this translation unit only anchors the target.
+#include "metrics/confusion.h"

@@ -1,0 +1,79 @@
+// Window- and frame-level scoring of a detector run: detection rate D_r over
+// injected frames, window confusion counts, and false-positive accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace canids::metrics {
+
+/// Window-level confusion counts. "Positive" = attack traffic present in
+/// the window; "alert" = the detector flagged it.
+struct WindowConfusion {
+  std::uint64_t true_positive = 0;
+  std::uint64_t false_positive = 0;
+  std::uint64_t true_negative = 0;
+  std::uint64_t false_negative = 0;
+
+  void record(bool attack_present, bool alerted) noexcept {
+    if (attack_present) {
+      if (alerted) ++true_positive; else ++false_negative;
+    } else {
+      if (alerted) ++false_positive; else ++true_negative;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  [[nodiscard]] double true_positive_rate() const noexcept {
+    const std::uint64_t p = true_positive + false_negative;
+    return p == 0 ? 0.0
+                  : static_cast<double>(true_positive) / static_cast<double>(p);
+  }
+  [[nodiscard]] double false_positive_rate() const noexcept {
+    const std::uint64_t n = false_positive + true_negative;
+    return n == 0 ? 0.0
+                  : static_cast<double>(false_positive) / static_cast<double>(n);
+  }
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t flagged = true_positive + false_positive;
+    return flagged == 0 ? 0.0
+                        : static_cast<double>(true_positive) /
+                              static_cast<double>(flagged);
+  }
+
+  WindowConfusion& operator+=(const WindowConfusion& other) noexcept {
+    true_positive += other.true_positive;
+    false_positive += other.false_positive;
+    true_negative += other.true_negative;
+    false_negative += other.false_negative;
+    return *this;
+  }
+};
+
+/// Frame-level detection accounting: an injected frame counts as detected
+/// when the window containing it alerted (the paper's D_r).
+struct FrameDetection {
+  std::uint64_t injected_frames = 0;
+  std::uint64_t detected_frames = 0;
+
+  void record_window(std::uint64_t injected_in_window, bool alerted) noexcept {
+    injected_frames += injected_in_window;
+    if (alerted) detected_frames += injected_in_window;
+  }
+
+  [[nodiscard]] double detection_rate() const noexcept {
+    return injected_frames == 0
+               ? 0.0
+               : static_cast<double>(detected_frames) /
+                     static_cast<double>(injected_frames);
+  }
+
+  FrameDetection& operator+=(const FrameDetection& other) noexcept {
+    injected_frames += other.injected_frames;
+    detected_frames += other.detected_frames;
+    return *this;
+  }
+};
+
+}  // namespace canids::metrics

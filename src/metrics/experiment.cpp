@@ -1,0 +1,226 @@
+#include "metrics/experiment.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "trace/trace_io.h"
+#include "util/contracts.h"
+
+namespace canids::metrics {
+
+namespace {
+
+/// Deterministic sub-seed derivation.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t salt) noexcept {
+  std::uint64_t state = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(config), vehicle_(config.vehicle) {
+  CANIDS_EXPECTS(config_.training_windows >= 2);
+  CANIDS_EXPECTS(config_.attack_duration > 0);
+  CANIDS_EXPECTS(config_.pipeline.window.mode ==
+                 ids::WindowConfig::Mode::kByTime);
+}
+
+const ids::GoldenTemplate& ExperimentRunner::train() {
+  if (golden_) return *golden_;
+
+  const util::TimeNs window = config_.pipeline.window.duration;
+  const std::size_t per_behavior =
+      (config_.training_windows + trace::kAllBehaviors.size() - 1) /
+      trace::kAllBehaviors.size();
+
+  ids::TemplateBuilder builder(can::kStdIdBits);
+  std::size_t behavior_index = 0;
+  while (builder.window_count() < config_.training_windows) {
+    const trace::DrivingBehavior behavior =
+        trace::kAllBehaviors[behavior_index % trace::kAllBehaviors.size()];
+    const std::uint64_t run_seed =
+        derive_seed(config_.seed, 1000 + behavior_index);
+    // One extra window of traffic so the trailing partial window can be
+    // discarded without starving the builder.
+    const util::TimeNs duration =
+        static_cast<util::TimeNs>(per_behavior + 1) * window;
+    const trace::Trace capture =
+        vehicle_.record_trace(behavior, duration, run_seed);
+
+    std::vector<can::TimedFrame> frames;
+    frames.reserve(capture.size());
+    for (const trace::LogRecord& record : capture) {
+      frames.push_back(can::TimedFrame{record.timestamp, record.frame,
+                                       can::TimedFrame::kUnknownSource});
+    }
+    for (const ids::WindowSnapshot& snap :
+         ids::windows_of(frames, config_.pipeline.window)) {
+      // Keep only complete windows (flush() emits a short trailing one).
+      if (snap.end - snap.start != window) continue;
+      if (builder.window_count() >= config_.training_windows) break;
+      builder.add_window(snap);
+      training_snapshots_.push_back(snap);
+    }
+    ++behavior_index;
+  }
+
+  golden_ = builder.build();
+  return *golden_;
+}
+
+const std::vector<ids::WindowSnapshot>& ExperimentRunner::training_snapshots() {
+  (void)train();
+  return training_snapshots_;
+}
+
+TrialResult ExperimentRunner::run_trial(attacks::ScenarioKind kind,
+                                        double frequency_hz,
+                                        std::uint64_t trial_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  attack_config.start = config_.clean_lead_in;
+  attack_config.stop = config_.clean_lead_in + config_.attack_duration;
+
+  util::Rng rng(derive_seed(config_.seed, 77 + trial_seed));
+  attacks::BuiltAttack attack =
+      attacks::make_scenario(kind, vehicle_, attack_config, rng);
+  return run_built_attack(std::move(attack), frequency_hz, trial_seed);
+}
+
+TrialResult ExperimentRunner::run_single_id_trial(std::uint32_t id,
+                                                  double frequency_hz,
+                                                  std::uint64_t trial_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  attack_config.start = config_.clean_lead_in;
+  attack_config.stop = config_.clean_lead_in + config_.attack_duration;
+
+  util::Rng rng(derive_seed(config_.seed, 991 + trial_seed));
+  attacks::BuiltAttack attack =
+      attacks::make_single_id_attack(attack_config, id, rng);
+  return run_built_attack(std::move(attack), frequency_hz, trial_seed);
+}
+
+TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
+                                               double frequency_hz,
+                                               std::uint64_t trial_seed) {
+  const ids::GoldenTemplate& golden = train();
+
+  TrialResult result;
+  result.kind = attack.kind;
+  result.frequency_hz = frequency_hz;
+  result.planned_ids = attack.planned_ids;
+
+  const trace::DrivingBehavior behavior =
+      trace::kAllBehaviors[trial_seed % trace::kAllBehaviors.size()];
+
+  can::BusSimulator bus(config_.vehicle.bus);
+  vehicle_.attach_to(bus, behavior, derive_seed(config_.seed, 5 + trial_seed));
+
+  attacks::InjectionNode* attacker = attack.node.get();
+  const int attacker_index = bus.add_node(std::move(attack.node));
+
+  ids::IdsPipeline pipeline(golden, vehicle_.id_pool(), config_.pipeline);
+
+  const util::TimeNs attack_start = config_.clean_lead_in;
+  const util::TimeNs attack_end =
+      config_.clean_lead_in + config_.attack_duration;
+  const bool inferable = attacks::scenario_inferable(attack.kind);
+
+  std::deque<bool> pending_injected;  // per frame, in bus order
+
+  auto handle_report = [&](const ids::WindowReport& report) {
+    CANIDS_EXPECTS(pending_injected.size() >= report.snapshot.frames);
+    std::uint64_t injected_in_window = 0;
+    for (std::uint64_t i = 0; i < report.snapshot.frames; ++i) {
+      if (pending_injected.front()) ++injected_in_window;
+      pending_injected.pop_front();
+    }
+    if (!report.detection.evaluated) return;
+
+    const bool overlaps_attack = report.snapshot.start < attack_end &&
+                                 report.snapshot.end > attack_start;
+    // Windows straddling the attack boundary carry only a partial injection
+    // signature; the paper's inference events are full attack windows.
+    const bool inside_attack = report.snapshot.start >= attack_start &&
+                               report.snapshot.end <= attack_end;
+    result.frames.record_window(injected_in_window, report.detection.alert);
+    result.windows.record(overlaps_attack, report.detection.alert);
+
+    if (report.detection.alert && inside_attack && inferable &&
+        report.inference && !result.planned_ids.empty()) {
+      result.inference_hit_sum += ids::inference_hit_fraction(
+          result.planned_ids, report.inference->ranked_candidates);
+      ++result.inference_windows;
+    }
+  };
+
+  bus.add_listener([&](const can::TimedFrame& frame) {
+    pending_injected.push_back(frame.source_node == attacker_index);
+    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
+      handle_report(*report);
+    }
+  });
+
+  bus.run_until(attack_end);
+  if (auto report = pipeline.finish()) handle_report(*report);
+
+  result.detection_rate = result.frames.detection_rate();
+  if (result.inference_windows > 0) {
+    result.inference_accuracy =
+        result.inference_hit_sum /
+        static_cast<double>(result.inference_windows);
+  }
+  result.injection_rate_arbitration =
+      attacker->stats().arbitration_win_ratio();
+  result.injection_rate_success = attacker->stats().injection_success_ratio();
+  result.injected_transmitted = attacker->stats().transmitted;
+  result.bus_load = bus.stats().load();
+  return result;
+}
+
+ScenarioSummary ExperimentRunner::run_scenario(
+    attacks::ScenarioKind kind, const std::vector<double>& frequencies,
+    int trials_per_frequency) {
+  CANIDS_EXPECTS(!frequencies.empty());
+  CANIDS_EXPECTS(trials_per_frequency >= 1);
+
+  ScenarioSummary summary;
+  summary.kind = kind;
+
+  FrameDetection frames;
+  WindowConfusion windows;
+  double inference_hit_sum = 0.0;
+  std::uint64_t inference_windows = 0;
+  double injection_sum = 0.0;
+
+  std::uint64_t trial_counter = 0;
+  for (double frequency : frequencies) {
+    for (int t = 0; t < trials_per_frequency; ++t) {
+      const TrialResult trial = run_trial(kind, frequency, trial_counter);
+      ++trial_counter;
+      ++summary.trials;
+      frames += trial.frames;
+      windows += trial.windows;
+      injection_sum += trial.injection_rate_arbitration;
+      inference_hit_sum += trial.inference_hit_sum;
+      inference_windows += trial.inference_windows;
+    }
+  }
+
+  summary.detection_rate = frames.detection_rate();
+  summary.false_positive_rate = windows.false_positive_rate();
+  summary.mean_injection_rate =
+      injection_sum / static_cast<double>(summary.trials);
+  if (inference_windows > 0) {
+    // Per detection event, matching the paper's rank-selection hit rate:
+    // every alerted attack window is one inference attempt.
+    summary.inference_accuracy =
+        inference_hit_sum / static_cast<double>(inference_windows);
+  }
+  return summary;
+}
+
+}  // namespace canids::metrics

@@ -1,0 +1,112 @@
+// The reproduction harness: trains the golden template the way the paper
+// does (35 windows over diverse driving behaviours), runs attack trials on
+// the simulated bus, and scores detection rate, inference accuracy, and
+// injection rate. Every bench binary (Fig. 2/3, Table I, ablations) is a
+// thin wrapper over this runner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "ids/pipeline.h"
+#include "metrics/confusion.h"
+#include "trace/synthetic_vehicle.h"
+
+namespace canids::metrics {
+
+struct ExperimentConfig {
+  trace::VehicleConfig vehicle;
+  ids::PipelineConfig pipeline;
+  /// Training windows for the golden template (paper: 35, five per
+  /// driving behaviour).
+  std::size_t training_windows = ids::kPaperTrainingWindows;
+  /// Attack trial timing: the attacker starts after a clean lead-in and
+  /// runs until the end of the trial.
+  util::TimeNs clean_lead_in = 3 * util::kSecond;
+  util::TimeNs attack_duration = 20 * util::kSecond;
+  /// Master seed; all per-trial randomness derives from it.
+  std::uint64_t seed = 0x5EC0DE;
+};
+
+/// Outcome of one attack trial.
+struct TrialResult {
+  attacks::ScenarioKind kind{};
+  double frequency_hz = 0.0;
+  std::vector<std::uint32_t> planned_ids;
+
+  FrameDetection frames;          ///< D_r accounting
+  WindowConfusion windows;        ///< window-level confusion incl. FPs
+  double detection_rate = 0.0;    ///< frames.detection_rate()
+  /// Mean hit fraction of ID inference over alerted attack windows
+  /// (nullopt when the scenario is not inferable or nothing alerted).
+  std::optional<double> inference_accuracy;
+  /// Raw inference-event accounting backing inference_accuracy, used by
+  /// ScenarioSummary to weight by detection events as the paper does.
+  double inference_hit_sum = 0.0;
+  std::uint64_t inference_windows = 0;
+
+  double injection_rate_arbitration = 0.0;  ///< wins / arbitration attempts
+  double injection_rate_success = 0.0;      ///< transmitted / generated
+  std::uint64_t injected_transmitted = 0;
+  double bus_load = 0.0;
+};
+
+/// Aggregate of several trials of the same scenario.
+struct ScenarioSummary {
+  attacks::ScenarioKind kind{};
+  std::size_t trials = 0;
+  double detection_rate = 0.0;       ///< frame-weighted across trials
+  std::optional<double> inference_accuracy;  ///< mean over trials with data
+  double false_positive_rate = 0.0;  ///< window-level, across trials
+  double mean_injection_rate = 0.0;  ///< arbitration view, mean over trials
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config = {});
+
+  [[nodiscard]] const trace::SyntheticVehicle& vehicle() const noexcept {
+    return vehicle_;
+  }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Build (and cache) the golden template from `training_windows` clean
+  /// windows spread evenly over all driving behaviours.
+  [[nodiscard]] const ids::GoldenTemplate& train();
+
+  /// The individual training windows (for Fig. 2 and the stability bench).
+  [[nodiscard]] const std::vector<ids::WindowSnapshot>& training_snapshots();
+
+  /// Run one attack trial. `trial_seed` individualises the run; the
+  /// driving behaviour is rotated from it.
+  [[nodiscard]] TrialResult run_trial(attacks::ScenarioKind kind,
+                                      double frequency_hz,
+                                      std::uint64_t trial_seed);
+
+  /// Convenience used by the Fig. 3 sweep: a single-ID injection trial
+  /// with a caller-chosen identifier.
+  [[nodiscard]] TrialResult run_single_id_trial(std::uint32_t id,
+                                                double frequency_hz,
+                                                std::uint64_t trial_seed);
+
+  /// Run `trials_per_frequency` trials at each frequency and aggregate.
+  [[nodiscard]] ScenarioSummary run_scenario(
+      attacks::ScenarioKind kind, const std::vector<double>& frequencies,
+      int trials_per_frequency);
+
+ private:
+  [[nodiscard]] TrialResult run_built_attack(attacks::BuiltAttack attack,
+                                             double frequency_hz,
+                                             std::uint64_t trial_seed);
+
+  ExperimentConfig config_;
+  trace::SyntheticVehicle vehicle_;
+  std::optional<ids::GoldenTemplate> golden_;
+  std::vector<ids::WindowSnapshot> training_snapshots_;
+};
+
+}  // namespace canids::metrics

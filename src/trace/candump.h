@@ -1,0 +1,32 @@
+// Parser/writer for the SocketCAN `candump -l` log format, the de-facto
+// interchange format for CAN captures:
+//
+//   (1436509052.249713) can0 0D1#8080000000008059
+//   (1436509052.449813) can0 5E4#R2                  <- remote frame
+//   (1436509053.000000) can1 18DB33F1#0102           <- 29-bit extended ID
+//
+// Extended identifiers are recognised by their 8-hex-digit ID field.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/log_record.h"
+
+namespace canids::trace {
+
+/// Parse one candump log line. Throws ParseError on malformed input.
+[[nodiscard]] LogRecord parse_candump_line(std::string_view line);
+
+/// Render one record as a candump log line (no trailing newline).
+[[nodiscard]] std::string to_candump_line(const LogRecord& record);
+
+/// Read a whole stream; blank lines and '#'-comment lines are skipped.
+/// Throws ParseError annotated with the failing line number.
+[[nodiscard]] Trace read_candump(std::istream& in);
+
+/// Write all records, one line each.
+void write_candump(std::ostream& out, const Trace& trace);
+
+}  // namespace canids::trace

@@ -1,0 +1,39 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw so tests can assert on them;
+// they are programming errors, not recoverable conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace canids {
+
+/// Thrown when a precondition (Expects) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace canids
+
+#define CANIDS_EXPECTS(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::canids::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                      __LINE__);                          \
+  } while (false)
+
+#define CANIDS_ENSURES(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::canids::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                      __LINE__);                          \
+  } while (false)

@@ -1,0 +1,77 @@
+// Streaming and batch statistics helpers used by the entropy monitor,
+// the golden-template builder, and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace canids::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the observed values; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Population variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample (n-1) variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// max - min; 0 when empty. This is the paper's per-bit "range" used to
+  /// derive the detection threshold Th = alpha * range.
+  [[nodiscard]] double range() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation, q in [0,1]).
+/// The input is copied; the original order is preserved.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+[[nodiscard]] double stddev_of(std::span<const double> values) noexcept;
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the first/last bin. Used for report rendering.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace canids::util

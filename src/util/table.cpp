@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace canids::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CANIDS_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CANIDS_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::percent(double ratio, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (ratio * 100.0) << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  const std::string rule(std::max<std::size_t>(title.size() + 8, 60), '=');
+  os << '\n' << rule << '\n' << "==  " << title << '\n' << rule << '\n';
+}
+
+}  // namespace canids::util

@@ -1,0 +1,34 @@
+// Simulation time base. All simulator code works in integer nanoseconds to
+// keep event ordering exact (a CAN bit at 125 kbit/s is exactly 8000 ns).
+#pragma once
+
+#include <cstdint>
+
+namespace canids::util {
+
+/// Nanoseconds since simulation start.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNever = INT64_MAX;
+
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr TimeNs from_ms(std::int64_t ms) noexcept {
+  return ms * kMillisecond;
+}
+
+[[nodiscard]] constexpr TimeNs from_us(std::int64_t us) noexcept {
+  return us * kMicrosecond;
+}
+
+[[nodiscard]] constexpr TimeNs from_seconds(double s) noexcept {
+  return static_cast<TimeNs>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace canids::util

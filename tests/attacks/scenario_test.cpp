@@ -1,0 +1,166 @@
+#include "attacks/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace canids::attacks {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+AttackConfig config_at(double hz) {
+  AttackConfig config;
+  config.frequency_hz = hz;
+  config.start = 0;
+  config.stop = util::kNever;
+  return config;
+}
+
+TEST(InjectionNodeTest, GeneratesAtConfiguredFrequency) {
+  auto attack = make_single_id_attack(config_at(100.0), 0x123, util::Rng(1));
+  attack.node->produce(kSecond);
+  // 100 Hz over [0, 1s]: frames due at 0, 10ms, ..., 1000ms -> 101.
+  EXPECT_EQ(attack.node->stats().generated, 101u);
+}
+
+TEST(InjectionNodeTest, RespectsStartAndStop) {
+  AttackConfig config = config_at(100.0);
+  config.start = 500 * kMillisecond;
+  config.stop = 600 * kMillisecond;
+  auto attack = make_single_id_attack(config, 0x123, util::Rng(1));
+  attack.node->produce(400 * kMillisecond);
+  EXPECT_EQ(attack.node->stats().generated, 0u);
+  attack.node->produce(2 * kSecond);
+  // Frames at 500..590 ms -> 10 generated, none at/after stop.
+  EXPECT_EQ(attack.node->stats().generated, 10u);
+  EXPECT_EQ(attack.node->next_production_time(), util::kNever);
+}
+
+TEST(InjectionNodeTest, MailboxDepthOneKeepsLatest) {
+  auto attack = make_single_id_attack(config_at(1000.0), 0x123, util::Rng(1));
+  attack.node->produce(kSecond);
+  // Only one pending mailbox: everything else was overwritten.
+  std::size_t pending = 0;
+  while (attack.node->has_pending()) {
+    attack.node->pop_head();
+    ++pending;
+  }
+  EXPECT_EQ(pending, 1u);
+  EXPECT_GT(attack.node->stats().dropped_overflow, 900u);
+}
+
+TEST(InjectionNodeTest, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(make_single_id_attack(config_at(0.0), 0x123, util::Rng(1)),
+               canids::ContractViolation);
+}
+
+TEST(SingleAttackTest, UsesExactlyOneId) {
+  auto attack = make_single_id_attack(config_at(50.0), 0x2A7, util::Rng(3));
+  ASSERT_EQ(attack.planned_ids.size(), 1u);
+  EXPECT_EQ(attack.planned_ids[0], 0x2A7u);
+  attack.node->produce(kSecond);
+  EXPECT_EQ(attack.node->ids_used(), attack.planned_ids);
+  EXPECT_EQ(attack.kind, ScenarioKind::kSingle);
+}
+
+TEST(FloodAttackTest, UsesManyChangeableHighPriorityIds) {
+  auto attack = make_flooding_attack(config_at(500.0), util::Rng(5));
+  attack.node->produce(2 * kSecond);
+  const auto ids = attack.node->ids_used();
+  EXPECT_GT(ids.size(), 20u);  // changeable identifiers
+  for (std::uint32_t id : ids) {
+    EXPECT_GE(id, 0x001u);  // never the raw zero-flood ID
+    EXPECT_LE(id, 0x07Fu);  // high-priority region
+  }
+  EXPECT_TRUE(attack.planned_ids.empty());
+  EXPECT_EQ(attack.kind, ScenarioKind::kFlood);
+}
+
+TEST(MultiAttackTest, CyclesAllIdsAndScalesRate) {
+  auto attack = make_multi_id_attack(config_at(50.0), {0x300, 0x100, 0x200},
+                                     util::Rng(7));
+  ASSERT_EQ(attack.planned_ids.size(), 3u);
+  // planned_ids are sorted ascending.
+  EXPECT_TRUE(std::is_sorted(attack.planned_ids.begin(),
+                             attack.planned_ids.end()));
+  attack.node->produce(kSecond);
+  // Per-ID rate 50 Hz, aggregate 150 Hz -> ~151 generated.
+  EXPECT_NEAR(static_cast<double>(attack.node->stats().generated), 151.0, 2.0);
+  EXPECT_EQ(attack.node->ids_used(), attack.planned_ids);
+  EXPECT_EQ(attack.kind, ScenarioKind::kMulti3);
+}
+
+TEST(MultiAttackTest, DeduplicatesIds) {
+  auto attack = make_multi_id_attack(config_at(10.0), {0x100, 0x100},
+                                     util::Rng(7));
+  EXPECT_EQ(attack.planned_ids.size(), 1u);
+  EXPECT_EQ(attack.kind, ScenarioKind::kSingle);
+}
+
+TEST(WeakAttackTest, FilterBlocksIllegalIds) {
+  auto attack = make_weak_attack(config_at(100.0), {0x150, 0x250},
+                                 {0x150}, util::Rng(9));
+  EXPECT_EQ(attack.kind, ScenarioKind::kWeak);
+  attack.node->produce(kSecond);
+  // All generated frames use the legal ID and pass the filter.
+  EXPECT_EQ(attack.node->stats().blocked_by_filter, 0u);
+  EXPECT_EQ(attack.node->ids_used(), std::vector<std::uint32_t>{0x150u});
+}
+
+TEST(WeakAttackTest, RejectsIdsOutsideLegalSet) {
+  EXPECT_THROW(make_weak_attack(config_at(10.0), {0x100}, {0x999},
+                                util::Rng(1)),
+               canids::ContractViolation);
+}
+
+TEST(ScenarioFactoryTest, BuildsEveryKindAgainstVehicle) {
+  const trace::SyntheticVehicle vehicle;
+  for (ScenarioKind kind : kAllScenarios) {
+    auto attack = make_scenario(kind, vehicle, config_at(20.0), util::Rng(11));
+    ASSERT_NE(attack.node, nullptr) << scenario_name(kind);
+    EXPECT_EQ(attack.kind, kind);
+    const int expected_ids = scenario_id_count(kind);
+    if (kind == ScenarioKind::kFlood) {
+      EXPECT_TRUE(attack.planned_ids.empty());
+    } else if (kind == ScenarioKind::kWeak) {
+      EXPECT_GE(static_cast<int>(attack.planned_ids.size()), 1);
+      EXPECT_LE(static_cast<int>(attack.planned_ids.size()), expected_ids);
+    } else {
+      EXPECT_EQ(static_cast<int>(attack.planned_ids.size()), expected_ids);
+    }
+    // Strong single/multi attackers pick from the legal pool.
+    const auto& pool = vehicle.id_pool();
+    for (std::uint32_t id : attack.planned_ids) {
+      EXPECT_TRUE(std::binary_search(pool.begin(), pool.end(), id))
+          << scenario_name(kind);
+    }
+  }
+}
+
+TEST(ScenarioFactoryTest, ScenarioMetadataConsistent) {
+  EXPECT_EQ(scenario_id_count(ScenarioKind::kMulti2), 2);
+  EXPECT_EQ(scenario_id_count(ScenarioKind::kMulti3), 3);
+  EXPECT_EQ(scenario_id_count(ScenarioKind::kMulti4), 4);
+  EXPECT_FALSE(scenario_inferable(ScenarioKind::kFlood));
+  EXPECT_TRUE(scenario_inferable(ScenarioKind::kSingle));
+  for (ScenarioKind kind : kAllScenarios) {
+    EXPECT_NE(scenario_name(kind), "unknown");
+  }
+}
+
+TEST(ScenarioFactoryTest, DifferentSeedsPickDifferentIds) {
+  const trace::SyntheticVehicle vehicle;
+  std::set<std::uint32_t> chosen;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto attack = make_scenario(ScenarioKind::kSingle, vehicle,
+                                config_at(10.0), util::Rng(seed));
+    chosen.insert(attack.planned_ids[0]);
+  }
+  EXPECT_GT(chosen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace canids::attacks

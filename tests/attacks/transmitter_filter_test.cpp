@@ -1,0 +1,52 @@
+#include "attacks/transmitter_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace canids::attacks {
+namespace {
+
+can::Frame frame_of(std::uint32_t id) {
+  return can::Frame::data_frame(can::CanId::standard(id), {});
+}
+
+TEST(TransmitterFilterTest, AllowsOnlyAssignedIds) {
+  const TransmitterFilter filter({0x100, 0x200});
+  EXPECT_TRUE(filter.allows(frame_of(0x100)));
+  EXPECT_TRUE(filter.allows(frame_of(0x200)));
+  EXPECT_FALSE(filter.allows(frame_of(0x150)));
+  EXPECT_FALSE(filter.allows(frame_of(0x000)));
+}
+
+TEST(TransmitterFilterTest, SortsAndDeduplicatesInput) {
+  const TransmitterFilter filter({0x300, 0x100, 0x300, 0x200});
+  ASSERT_EQ(filter.allowed_ids().size(), 3u);
+  EXPECT_EQ(filter.allowed_ids()[0], 0x100u);
+  EXPECT_EQ(filter.allowed_ids()[2], 0x300u);
+  EXPECT_TRUE(filter.allows(frame_of(0x300)));
+}
+
+TEST(TransmitterFilterTest, RejectsExtendedFrames) {
+  const TransmitterFilter filter({0x100});
+  const can::Frame ext =
+      can::Frame::data_frame(can::CanId::extended(0x100), {});
+  EXPECT_FALSE(filter.allows(ext));
+}
+
+TEST(TransmitterFilterTest, PredicateOutlivesFilter) {
+  std::function<bool(const can::Frame&)> predicate;
+  {
+    const TransmitterFilter filter({0x123});
+    predicate = filter.as_predicate();
+  }
+  EXPECT_TRUE(predicate(frame_of(0x123)));
+  EXPECT_FALSE(predicate(frame_of(0x124)));
+}
+
+TEST(TransmitterFilterTest, EmptyFilterBlocksEverything) {
+  const TransmitterFilter filter({});
+  EXPECT_FALSE(filter.allows(frame_of(0x000)));
+  EXPECT_FALSE(filter.allows(frame_of(0x7FF)));
+}
+
+}  // namespace
+}  // namespace canids::attacks

@@ -1,0 +1,134 @@
+#include "baselines/muter_entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace canids::baselines {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+TEST(IdDistributionEntropyTest, UniformDistributionIsLogN) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (std::uint32_t id = 0; id < 8; ++id) counts[id] = 10;
+  EXPECT_NEAR(id_distribution_entropy(counts, 80), 3.0, 1e-12);
+}
+
+TEST(IdDistributionEntropyTest, DegenerateDistributionIsZero) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  counts[0x123] = 500;
+  EXPECT_DOUBLE_EQ(id_distribution_entropy(counts, 500), 0.0);
+}
+
+TEST(IdDistributionEntropyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(id_distribution_entropy({}, 0), 0.0);
+}
+
+TEST(SymbolAccumulatorTest, WindowsAndEntropy) {
+  SymbolEntropyAccumulator acc(kSecond);
+  // Two IDs alternating at 10 ms -> uniform over 2 -> H = 1 bit.
+  std::optional<SymbolWindow> closed;
+  for (int i = 0; i < 250; ++i) {
+    const auto t = static_cast<util::TimeNs>(i) * 10 * kMillisecond;
+    auto snap = acc.add(t, i % 2 == 0 ? 0x100u : 0x200u);
+    if (snap) closed = snap;
+  }
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_NEAR(closed->entropy, 1.0, 1e-9);
+  EXPECT_EQ(closed->distinct_ids, 2u);
+  EXPECT_EQ(closed->frames, 100u);
+}
+
+TEST(SymbolAccumulatorTest, StateGrowsWithDistinctIds) {
+  SymbolEntropyAccumulator acc(kSecond);
+  const std::size_t empty_state = acc.state_bytes();
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    acc.add(static_cast<util::TimeNs>(id), id);
+  }
+  // The §V.E storage argument: per-ID histogram grows linearly, unlike the
+  // 11-counter bit-slice state.
+  EXPECT_GE(acc.state_bytes(), empty_state + 100 * 12);
+}
+
+TEST(SymbolAccumulatorTest, FlushEmitsRemainder) {
+  SymbolEntropyAccumulator acc(kSecond);
+  acc.add(0, 0x100u);
+  acc.add(kMillisecond, 0x200u);
+  const auto snap = acc.flush();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->frames, 2u);
+  EXPECT_FALSE(acc.flush().has_value());
+}
+
+std::vector<SymbolWindow> training_windows(double base_entropy_spread) {
+  // Construct windows with controlled entropy: vary the mix slightly.
+  std::vector<SymbolWindow> windows;
+  util::Rng rng(3);
+  for (int w = 0; w < 35; ++w) {
+    SymbolWindow window;
+    window.frames = 1000;
+    window.entropy = 5.0 + rng.uniform(-base_entropy_spread,
+                                       base_entropy_spread);
+    window.distinct_ids = 50;
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+TEST(MuterEntropyIdsTest, CleanWindowWithinBand) {
+  const MuterEntropyIds ids(training_windows(0.02));
+  SymbolWindow clean;
+  clean.frames = 1000;
+  clean.entropy = 5.01;
+  const auto result = ids.evaluate(clean);
+  EXPECT_TRUE(result.evaluated);
+  EXPECT_FALSE(result.alert);
+}
+
+TEST(MuterEntropyIdsTest, EntropyDropAlerts) {
+  const MuterEntropyIds ids(training_windows(0.02));
+  // Heavy single-ID injection concentrates the distribution: entropy falls.
+  SymbolWindow attacked;
+  attacked.frames = 1400;
+  attacked.entropy = 4.0;
+  const auto result = ids.evaluate(attacked);
+  EXPECT_TRUE(result.alert);
+  EXPECT_GT(result.deviation, result.threshold);
+}
+
+TEST(MuterEntropyIdsTest, SparseWindowNotEvaluated) {
+  const MuterEntropyIds ids(training_windows(0.02));
+  SymbolWindow sparse;
+  sparse.frames = 3;
+  sparse.entropy = 0.0;
+  EXPECT_FALSE(ids.evaluate(sparse).evaluated);
+  EXPECT_FALSE(ids.evaluate(sparse).alert);
+}
+
+TEST(MuterEntropyIdsTest, RequiresTwoTrainingWindows) {
+  std::vector<SymbolWindow> one(1);
+  one[0].frames = 100;
+  EXPECT_THROW(MuterEntropyIds{one}, canids::ContractViolation);
+}
+
+TEST(MuterEntropyIdsTest, ThresholdUsesAlphaTimesRange) {
+  std::vector<SymbolWindow> windows(3);
+  windows[0].entropy = 5.0;
+  windows[1].entropy = 5.1;
+  windows[2].entropy = 4.9;
+  for (auto& w : windows) w.frames = 1000;
+  MuterConfig config;
+  config.alpha = 5.0;
+  config.min_threshold = 0.0;
+  const MuterEntropyIds ids(windows, config);
+  EXPECT_NEAR(ids.mean_entropy(), 5.0, 1e-12);
+  EXPECT_NEAR(ids.threshold(), 5.0 * 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace canids::baselines

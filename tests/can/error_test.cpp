@@ -1,0 +1,84 @@
+#include "can/error.h"
+
+#include <gtest/gtest.h>
+
+namespace canids::can {
+namespace {
+
+TEST(ErrorCountersTest, StartsErrorActive) {
+  const ErrorCounters counters;
+  EXPECT_EQ(counters.state(), FaultState::kErrorActive);
+  EXPECT_EQ(counters.transmit_errors(), 0);
+  EXPECT_EQ(counters.receive_errors(), 0);
+  EXPECT_FALSE(counters.bus_off());
+}
+
+TEST(ErrorCountersTest, TransmitErrorAddsEight) {
+  ErrorCounters counters;
+  counters.on_transmit_error();
+  EXPECT_EQ(counters.transmit_errors(), 8);
+  counters.on_transmit_error();
+  EXPECT_EQ(counters.transmit_errors(), 16);
+}
+
+TEST(ErrorCountersTest, SuccessDecrementsWithFloor) {
+  ErrorCounters counters;
+  counters.on_transmit_error();  // 8
+  for (int i = 0; i < 20; ++i) counters.on_transmit_success();
+  EXPECT_EQ(counters.transmit_errors(), 0);
+  counters.on_receive_error();  // 1
+  for (int i = 0; i < 5; ++i) counters.on_receive_success();
+  EXPECT_EQ(counters.receive_errors(), 0);
+}
+
+TEST(ErrorCountersTest, ErrorPassiveAbove127) {
+  ErrorCounters counters;
+  for (int i = 0; i < 16; ++i) counters.on_transmit_error();  // TEC = 128
+  EXPECT_EQ(counters.state(), FaultState::kErrorPassive);
+  EXPECT_FALSE(counters.bus_off());
+}
+
+TEST(ErrorCountersTest, ReceivePassiveAbove127) {
+  ErrorCounters counters;
+  for (int i = 0; i < 128; ++i) counters.on_receive_error();
+  EXPECT_EQ(counters.state(), FaultState::kErrorPassive);
+}
+
+TEST(ErrorCountersTest, BusOffAbove255) {
+  ErrorCounters counters;
+  // 32 consecutive destroyed frames: the classic bus-off attack arithmetic
+  // (32 * 8 = 256 > 255).
+  for (int i = 0; i < 32; ++i) counters.on_transmit_error();
+  EXPECT_TRUE(counters.bus_off());
+  EXPECT_EQ(counters.state(), FaultState::kBusOff);
+}
+
+TEST(ErrorCountersTest, BusOffIsAbsorbing) {
+  ErrorCounters counters;
+  for (int i = 0; i < 32; ++i) counters.on_transmit_error();
+  ASSERT_TRUE(counters.bus_off());
+  counters.on_transmit_error();  // further errors don't matter
+  EXPECT_TRUE(counters.bus_off());
+}
+
+TEST(ErrorCountersTest, RecoveryVsOngoingAttack) {
+  // Alternating success/error still climbs (+8 vs -1), matching Cho &
+  // Shin's observation that intermittent attacks suffice.
+  ErrorCounters counters;
+  for (int round = 0; round < 40; ++round) {
+    counters.on_transmit_error();
+    counters.on_transmit_success();
+  }
+  EXPECT_TRUE(counters.bus_off());
+}
+
+TEST(ErrorCountersTest, ResetRestoresActive) {
+  ErrorCounters counters;
+  for (int i = 0; i < 32; ++i) counters.on_transmit_error();
+  counters.reset();
+  EXPECT_EQ(counters.state(), FaultState::kErrorActive);
+  EXPECT_EQ(counters.transmit_errors(), 0);
+}
+
+}  // namespace
+}  // namespace canids::can

@@ -1,0 +1,148 @@
+#include "can/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace canids::can {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+TimedFrame frame_from(int node, std::uint32_t id, util::TimeNs t) {
+  TimedFrame tf;
+  tf.timestamp = t;
+  tf.source_node = node;
+  tf.frame = Frame::data_frame(CanId::standard(id), {});
+  return tf;
+}
+
+GatewayFilter commissioned_filter(GatewayConfig config = {}) {
+  GatewayFilter gateway(config);
+  for (std::uint32_t id : {0x100u, 0x200u, 0x300u}) {
+    gateway.learn(CanId::standard(id));
+  }
+  gateway.finish_learning();
+  return gateway;
+}
+
+TEST(GatewayFilterTest, NormalTrafficUnflagged) {
+  GatewayFilter gateway = commissioned_filter();
+  for (int i = 0; i < 100; ++i) {
+    const auto v = gateway.observe(
+        frame_from(1, 0x100, static_cast<util::TimeNs>(i) * 10 * kMillisecond));
+    EXPECT_FALSE(v.rate_exceeded);
+    EXPECT_FALSE(v.novelty_flagged);
+  }
+  EXPECT_FALSE(gateway.node_flagged(1));
+  EXPECT_TRUE(gateway.flagged_nodes().empty());
+}
+
+TEST(GatewayFilterTest, RateBudgetPerSource) {
+  GatewayConfig config;
+  config.max_frames_per_second = 50.0;
+  GatewayFilter gateway = commissioned_filter(config);
+  // 100 frames within one second from one source: budget exceeded.
+  bool exceeded = false;
+  for (int i = 0; i < 100; ++i) {
+    exceeded |= gateway
+                    .observe(frame_from(2, 0x100,
+                                        static_cast<util::TimeNs>(i) *
+                                            5 * kMillisecond))
+                    .rate_exceeded;
+  }
+  EXPECT_TRUE(exceeded);
+  EXPECT_TRUE(gateway.node_flagged(2));
+  // A different, quiet source stays clean.
+  gateway.observe(frame_from(3, 0x200, kSecond));
+  EXPECT_FALSE(gateway.node_flagged(3));
+}
+
+TEST(GatewayFilterTest, RateWindowResets) {
+  GatewayConfig config;
+  config.max_frames_per_second = 50.0;
+  GatewayFilter gateway = commissioned_filter(config);
+  // 40 frames/s sustained for 3 s never exceeds the budget.
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 40; ++i) {
+      const auto t = static_cast<util::TimeNs>(s) * kSecond +
+                     static_cast<util::TimeNs>(i) * 25 * kMillisecond;
+      EXPECT_FALSE(gateway.observe(frame_from(1, 0x100, t)).rate_exceeded);
+    }
+  }
+}
+
+TEST(GatewayFilterTest, NoveltyFlagsChangeableHighPriorityFlood) {
+  GatewayConfig config;
+  config.novelty_threshold = 6;
+  GatewayFilter gateway = commissioned_filter(config);
+  // The paper's flooding attacker: many distinct unseen IDs below 0x100.
+  bool flagged = false;
+  for (std::uint32_t id = 0x01; id <= 0x20; ++id) {
+    flagged |= gateway
+                   .observe(frame_from(4, id,
+                                       static_cast<util::TimeNs>(id) *
+                                           kMillisecond))
+                   .novelty_flagged;
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_TRUE(gateway.node_flagged(4));
+}
+
+TEST(GatewayFilterTest, KnownHighPriorityIdsAreNotNovel) {
+  GatewayConfig config;
+  config.novelty_threshold = 2;
+  GatewayFilter gateway(config);
+  gateway.learn(CanId::standard(0x010));
+  gateway.learn(CanId::standard(0x020));
+  gateway.finish_learning();
+  for (int i = 0; i < 50; ++i) {
+    const auto v = gateway.observe(
+        frame_from(1, i % 2 == 0 ? 0x010 : 0x020,
+                   static_cast<util::TimeNs>(i) * 10 * kMillisecond));
+    EXPECT_FALSE(v.novelty_flagged);
+  }
+}
+
+TEST(GatewayFilterTest, LowPriorityUnknownIdsDoNotTripNovelty) {
+  GatewayConfig config;
+  config.novelty_threshold = 2;
+  config.high_priority_ceiling = 0x100;
+  GatewayFilter gateway = commissioned_filter(config);
+  for (std::uint32_t id = 0x500; id < 0x520; ++id) {
+    EXPECT_FALSE(gateway
+                     .observe(frame_from(1, id,
+                                         static_cast<util::TimeNs>(id) *
+                                             kMillisecond))
+                     .novelty_flagged);
+  }
+}
+
+TEST(GatewayFilterTest, LearnPoolCommissionsEverything) {
+  GatewayFilter gateway;
+  gateway.learn_pool({0x010, 0x020, 0x030});
+  gateway.finish_learning();
+  EXPECT_EQ(gateway.commissioned_ids(), 3u);
+}
+
+TEST(GatewayFilterTest, LifecycleContracts) {
+  GatewayFilter gateway;
+  EXPECT_THROW(gateway.observe(frame_from(0, 1, 0)),
+               canids::ContractViolation);
+  gateway.finish_learning();
+  EXPECT_THROW(gateway.learn(CanId::standard(1)), canids::ContractViolation);
+  EXPECT_THROW(gateway.finish_learning(), canids::ContractViolation);
+}
+
+TEST(GatewayFilterTest, RejectsBadConfig) {
+  GatewayConfig bad;
+  bad.max_frames_per_second = 0.0;
+  EXPECT_THROW(GatewayFilter{bad}, canids::ContractViolation);
+  GatewayConfig bad2;
+  bad2.novelty_threshold = 0;
+  EXPECT_THROW(GatewayFilter{bad2}, canids::ContractViolation);
+}
+
+}  // namespace
+}  // namespace canids::can

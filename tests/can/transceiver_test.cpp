@@ -1,0 +1,85 @@
+#include "can/transceiver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "can/bitstream.h"
+#include "util/rng.h"
+
+namespace canids::can {
+namespace {
+
+TEST(DominantTimeoutGuardTest, TripsOnLongSpan) {
+  TransceiverConfig config;
+  config.dominant_timeout = 100 * util::kMicrosecond;
+  DominantTimeoutGuard guard(config);
+  EXPECT_FALSE(guard.on_dominant_span(100 * util::kMicrosecond));
+  EXPECT_FALSE(guard.tripped());
+  EXPECT_TRUE(guard.on_dominant_span(101 * util::kMicrosecond));
+  EXPECT_TRUE(guard.tripped());
+}
+
+TEST(DominantTimeoutGuardTest, StaysTrippedUntilReset) {
+  TransceiverConfig config;
+  config.dominant_timeout = 10;
+  DominantTimeoutGuard guard(config);
+  ASSERT_TRUE(guard.on_dominant_span(11));
+  // Short spans afterwards do not clear it.
+  EXPECT_TRUE(guard.on_dominant_span(1));
+  EXPECT_TRUE(guard.tripped());
+  guard.reset();
+  EXPECT_FALSE(guard.tripped());
+  EXPECT_EQ(guard.longest_span(), 0);
+}
+
+TEST(DominantTimeoutGuardTest, DisabledGuardNeverTrips) {
+  TransceiverConfig config;
+  config.enabled = false;
+  config.dominant_timeout = 1;
+  DominantTimeoutGuard guard(config);
+  EXPECT_FALSE(guard.on_dominant_span(util::kSecond));
+  EXPECT_FALSE(guard.tripped());
+}
+
+TEST(DominantTimeoutGuardTest, TracksLongestSpan) {
+  TransceiverConfig config;
+  config.dominant_timeout = util::kSecond;
+  DominantTimeoutGuard guard(config);
+  (void)guard.on_dominant_span(50);
+  (void)guard.on_dominant_span(200);
+  (void)guard.on_dominant_span(100);
+  EXPECT_EQ(guard.longest_span(), 200);
+}
+
+TEST(LongestDominantRunTest, StuffingBoundsWellFormedFrames) {
+  // Bit stuffing guarantees at most 5 equal bits in the stuffed region; the
+  // worst case across region boundaries stays small. No legal frame can
+  // hold the bus dominant for long — the core reason the zero-flood attack
+  // needs a raw bus hold, not frames.
+  util::Rng rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> payload(rng.below(9));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+    const Frame frame = Frame::data_frame(
+        CanId::standard(static_cast<std::uint32_t>(rng.below(0x800))),
+        payload);
+    EXPECT_LE(longest_dominant_run(frame), 6) << frame.to_string();
+  }
+}
+
+TEST(LongestDominantRunTest, AllZeroFrameStillBounded) {
+  const std::vector<std::uint8_t> zeros(8, 0x00);
+  const Frame frame = Frame::data_frame(CanId::standard(0x000), zeros);
+  EXPECT_LE(longest_dominant_run(frame), 6);
+  EXPECT_GE(longest_dominant_run(frame), 5);
+}
+
+TEST(LongestDominantRunTest, RecessiveHeavyFrameHasShortRuns) {
+  const std::vector<std::uint8_t> payload(8, 0xFF);
+  const Frame frame = Frame::data_frame(CanId::standard(0x7FF), payload);
+  EXPECT_LE(longest_dominant_run(frame), 5);
+}
+
+}  // namespace
+}  // namespace canids::can

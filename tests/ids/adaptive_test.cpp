@@ -1,0 +1,119 @@
+#include "ids/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace canids::ids {
+namespace {
+
+WindowSnapshot window_at(double p, std::uint64_t frames = 1000) {
+  WindowSnapshot snap;
+  snap.frames = frames;
+  snap.start = 0;
+  snap.end = util::kSecond;
+  snap.probabilities.assign(11, p);
+  snap.entropies.assign(11, binary_entropy(p));
+  return snap;
+}
+
+GoldenTemplate template_at(double p, double spread) {
+  TemplateBuilder builder;
+  builder.add_window(window_at(p - spread));
+  builder.add_window(window_at(p + spread));
+  return builder.build();
+}
+
+TEST(AdaptiveDetectorTest, CleanWindowsUpdateMeans) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.5;  // aggressive for the test
+  AdaptiveDetector detector(template_at(0.30, 0.01), {}, adaptive);
+  const double before = detector.current_template().mean_probability[0];
+  (void)detector.evaluate_and_update(window_at(0.305));
+  const double after = detector.current_template().mean_probability[0];
+  EXPECT_GT(after, before);
+  EXPECT_NEAR(after, 0.5 * 0.30 + 0.5 * 0.305, 1e-9);
+  EXPECT_EQ(detector.updates_applied(), 1u);
+}
+
+TEST(AdaptiveDetectorTest, TracksSlowDriftWithoutAlerting) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.2;
+  DetectorConfig config;
+  config.min_threshold = 0.02;
+  AdaptiveDetector adaptive_detector(template_at(0.30, 0.003), config,
+                                     adaptive);
+  const Detector static_detector(template_at(0.30, 0.003), config);
+
+  // Drift from p=0.30 to p=0.38 in 60 small steps. The static detector
+  // eventually alerts on pure drift; the adaptive one follows it.
+  bool static_alerted = false;
+  bool adaptive_alerted = false;
+  for (int step = 0; step <= 60; ++step) {
+    const double p = 0.30 + 0.08 * step / 60.0;
+    static_alerted |= static_detector.evaluate(window_at(p)).alert;
+    adaptive_alerted |=
+        adaptive_detector.evaluate_and_update(window_at(p)).alert;
+  }
+  EXPECT_TRUE(static_alerted);
+  EXPECT_FALSE(adaptive_alerted);
+  EXPECT_GT(adaptive_detector.current_template().mean_probability[0], 0.34);
+}
+
+TEST(AdaptiveDetectorTest, AlertWindowsDoNotPoisonTemplate) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.3;
+  AdaptiveDetector detector(template_at(0.30, 0.003), {}, adaptive);
+  const double before = detector.current_template().mean_probability[0];
+  // A blatant attack window alerts; the template must not move.
+  for (int i = 0; i < 10; ++i) {
+    const DetectionResult result =
+        detector.evaluate_and_update(window_at(0.55));
+    EXPECT_TRUE(result.alert);
+  }
+  EXPECT_DOUBLE_EQ(detector.current_template().mean_probability[0], before);
+  EXPECT_EQ(detector.updates_applied(), 0u);
+  EXPECT_EQ(detector.updates_suppressed(), 10u);
+}
+
+TEST(AdaptiveDetectorTest, UpdateOnAlertOptIn) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.3;
+  adaptive.update_on_alert = true;  // deliberately unsafe configuration
+  AdaptiveDetector detector(template_at(0.30, 0.003), {}, adaptive);
+  (void)detector.evaluate_and_update(window_at(0.55));
+  EXPECT_GT(detector.current_template().mean_probability[0], 0.30);
+  EXPECT_EQ(detector.updates_applied(), 1u);
+}
+
+TEST(AdaptiveDetectorTest, ZeroAlphaIsStatic) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.0;
+  AdaptiveDetector detector(template_at(0.30, 0.01), {}, adaptive);
+  (void)detector.evaluate_and_update(window_at(0.31));
+  EXPECT_DOUBLE_EQ(detector.current_template().mean_probability[0], 0.30);
+  EXPECT_EQ(detector.updates_applied(), 0u);
+}
+
+TEST(AdaptiveDetectorTest, SparseWindowsNeverUpdate) {
+  AdaptiveConfig adaptive;
+  adaptive.ewma_alpha = 0.5;
+  DetectorConfig config;
+  config.min_window_frames = 100;
+  AdaptiveDetector detector(template_at(0.30, 0.01), config, adaptive);
+  (void)detector.evaluate_and_update(window_at(0.45, /*frames=*/5));
+  EXPECT_DOUBLE_EQ(detector.current_template().mean_probability[0], 0.30);
+}
+
+TEST(AdaptiveDetectorTest, RejectsBadAlpha) {
+  AdaptiveConfig bad;
+  bad.ewma_alpha = 1.0;
+  EXPECT_THROW(AdaptiveDetector(template_at(0.3, 0.01), {}, bad),
+               canids::ContractViolation);
+  bad.ewma_alpha = -0.1;
+  EXPECT_THROW(AdaptiveDetector(template_at(0.3, 0.01), {}, bad),
+               canids::ContractViolation);
+}
+
+}  // namespace
+}  // namespace canids::ids

@@ -1,0 +1,70 @@
+#include "metrics/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace canids::metrics {
+namespace {
+
+TEST(WindowConfusionTest, RecordsAllFourOutcomes) {
+  WindowConfusion c;
+  c.record(true, true);    // TP
+  c.record(true, false);   // FN
+  c.record(false, true);   // FP
+  c.record(false, false);  // TN
+  EXPECT_EQ(c.true_positive, 1u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_DOUBLE_EQ(c.true_positive_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+}
+
+TEST(WindowConfusionTest, RatesWithEmptyDenominators) {
+  const WindowConfusion empty;
+  EXPECT_DOUBLE_EQ(empty.true_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+}
+
+TEST(WindowConfusionTest, AccumulateMerges) {
+  WindowConfusion a;
+  a.record(true, true);
+  WindowConfusion b;
+  b.record(false, true);
+  b.record(true, false);
+  a += b;
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.true_positive, 1u);
+  EXPECT_EQ(a.false_positive, 1u);
+  EXPECT_EQ(a.false_negative, 1u);
+}
+
+TEST(FrameDetectionTest, DetectionRateOverInjectedFrames) {
+  FrameDetection d;
+  d.record_window(10, true);    // 10 injected, window alerted
+  d.record_window(5, false);    // 5 injected, missed
+  d.record_window(0, true);     // clean alerted window adds nothing
+  EXPECT_EQ(d.injected_frames, 15u);
+  EXPECT_EQ(d.detected_frames, 10u);
+  EXPECT_NEAR(d.detection_rate(), 10.0 / 15.0, 1e-12);
+}
+
+TEST(FrameDetectionTest, EmptyRateIsZero) {
+  const FrameDetection d;
+  EXPECT_DOUBLE_EQ(d.detection_rate(), 0.0);
+}
+
+TEST(FrameDetectionTest, AccumulateMerges) {
+  FrameDetection a;
+  a.record_window(10, true);
+  FrameDetection b;
+  b.record_window(10, false);
+  a += b;
+  EXPECT_EQ(a.injected_frames, 20u);
+  EXPECT_DOUBLE_EQ(a.detection_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace canids::metrics

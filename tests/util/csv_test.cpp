@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace canids::util {
+namespace {
+
+TEST(SplitCsvTest, PlainFields) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvTest, EmptyFieldsPreserved) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvTest, SingleFieldLine) {
+  const auto fields = split_csv_line("hello");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(SplitCsvTest, QuotedFieldWithComma) {
+  const auto fields = split_csv_line(R"(a,"b,c",d)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(SplitCsvTest, EscapedQuotes) {
+  const auto fields = split_csv_line(R"("he said ""hi""",x)");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], R"(he said "hi")");
+}
+
+TEST(SplitCsvTest, ToleratesCarriageReturn) {
+  const auto fields = split_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(JoinCsvTest, RoundTripsThroughSplit) {
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             R"(with"quote)", ""};
+  const auto round_tripped = split_csv_line(join_csv_line(original));
+  EXPECT_EQ(round_tripped, original);
+}
+
+TEST(JoinCsvTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(join_csv_line({"a", "b"}), "a,b");
+  EXPECT_EQ(join_csv_line({"a,b"}), "\"a,b\"");
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(IEqualsTest, CaseInsensitiveComparison) {
+  EXPECT_TRUE(iequals("Time", "time"));
+  EXPECT_TRUE(iequals("ID", "id"));
+  EXPECT_FALSE(iequals("Time", "Time "));
+  EXPECT_FALSE(iequals("a", "b"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  writer.write_row({"1", "2"});
+  writer.write_row({"3", "a,b"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,\"a,b\"\n");
+}
+
+TEST(CsvWriterTest, RejectsWrongColumnCount) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  EXPECT_THROW(writer.write_row({"only-one"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace canids::util

@@ -1,0 +1,159 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace canids::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.range(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.range(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook set
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.range(), 7.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 1.0);
+  EXPECT_NEAR(stats.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesBulk) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.75), 7.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> values = {42.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.3), 42.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)quantile(empty, 0.5), ContractViolation);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)quantile(one, -0.1), ContractViolation);
+  EXPECT_THROW((void)quantile(one, 1.1), ContractViolation);
+}
+
+TEST(MeanStdTest, AgreeWithRunningStats) {
+  Rng rng(6);
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.normal(1.0, 4.0);
+    values.push_back(v);
+    stats.add(v);
+  }
+  EXPECT_NEAR(mean_of(values), stats.mean(), 1e-9);
+  EXPECT_NEAR(stddev_of(values), stats.stddev(), 1e-9);
+}
+
+TEST(MeanStdTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(mean_of(one), 7.0);
+  EXPECT_DOUBLE_EQ(stddev_of(one), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped into bin 0
+  h.add(42.0);   // clamped into bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_in(0), 2u);
+  EXPECT_EQ(h.count_in(2), 1u);
+  EXPECT_EQ(h.count_in(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ContractViolation);
+}
+
+TEST(HistogramTest, RejectsOutOfRangeBinQueries) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_THROW((void)h.count_in(3), ContractViolation);
+  EXPECT_THROW((void)h.bin_low(3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace canids::util

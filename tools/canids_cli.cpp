@@ -1,0 +1,297 @@
+// canids — command-line front end to the library.
+//
+//   canids info <capture>                      summarise a CAN log
+//   canids train <template-out> <clean>...     build a golden template
+//   canids detect <template> <capture>         run the IDS over a capture
+//       [--alpha A] [--window SECONDS] [--rank N] [--no-pairs]
+//   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
+//       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
+//
+// Captures may be candump logs or Vehicle-Spy-style CSV (auto-detected).
+// `detect` exits 0 when the capture is clean and 2 when intrusions were
+// flagged, so it can gate scripts.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "ids/pipeline.h"
+#include "metrics/experiment.h"
+#include "trace/trace_io.h"
+#include "util/table.h"
+
+using namespace canids;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  canids info <capture>\n"
+               "  canids train <template-out> <clean-capture>...\n"
+               "  canids detect <template> <capture> [--alpha A] "
+               "[--window S] [--rank N] [--no-pairs]\n"
+               "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
+               "[--seed N] [--attack KIND] [--freq HZ]\n");
+  return 64;  // EX_USAGE
+}
+
+std::optional<double> arg_number(std::vector<std::string>& args,
+                                 const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      const double value = std::stod(args[i + 1]);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> arg_string(std::vector<std::string>& args,
+                                      const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool arg_flag(std::vector<std::string>& args, const std::string& flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return false;
+  args.erase(it);
+  return true;
+}
+
+int cmd_info(const std::string& path) {
+  const trace::Trace capture = trace::load_trace_file(path);
+  const trace::TraceSummary summary = trace::summarize(capture);
+  std::printf("%s:\n", path.c_str());
+  std::printf("  frames        : %zu\n", summary.frames);
+  std::printf("  distinct IDs  : %zu\n", summary.distinct_ids);
+  std::printf("  duration      : %.3f s\n", util::to_seconds(summary.duration));
+  std::printf("  frame rate    : %.1f /s\n", summary.frames_per_second);
+  return 0;
+}
+
+int cmd_train(const std::string& out_path,
+              const std::vector<std::string>& inputs) {
+  ids::WindowConfig window;
+  ids::TemplateBuilder builder;
+  for (const std::string& path : inputs) {
+    const trace::Trace capture = trace::load_trace_file(path);
+    ids::WindowAccumulator accumulator(window);
+    std::size_t used = 0;
+    for (const trace::LogRecord& record : capture) {
+      if (auto snap = accumulator.add(record.timestamp, record.frame.id())) {
+        if (snap->end - snap->start == window.duration) {
+          builder.add_window(*snap);
+          ++used;
+        }
+      }
+    }
+    std::printf("%s: %zu full windows\n", path.c_str(), used);
+  }
+  const ids::GoldenTemplate golden = builder.build();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 66;  // EX_NOINPUT-ish
+  }
+  out << golden.serialize();
+  std::printf("template (%zu windows, pairs=%s) -> %s\n",
+              golden.training_windows, golden.has_pairs() ? "yes" : "no",
+              out_path.c_str());
+  if (golden.training_windows < ids::kPaperTrainingWindows) {
+    std::printf("note: the paper trains on %zu windows; consider more clean "
+                "captures.\n",
+                ids::kPaperTrainingWindows);
+  }
+  return 0;
+}
+
+int cmd_detect(const std::string& template_path, const std::string& capture_path,
+               std::vector<std::string> args) {
+  std::ifstream tpl_in(template_path);
+  if (!tpl_in) {
+    std::fprintf(stderr, "cannot read %s\n", template_path.c_str());
+    return 66;
+  }
+  const std::string tpl_text((std::istreambuf_iterator<char>(tpl_in)),
+                             std::istreambuf_iterator<char>());
+  const ids::GoldenTemplate golden = ids::GoldenTemplate::deserialize(tpl_text);
+
+  ids::PipelineConfig config;
+  if (const auto alpha = arg_number(args, "--alpha")) {
+    config.detector.alpha = *alpha;
+  }
+  if (const auto window = arg_number(args, "--window")) {
+    config.window.duration = util::from_seconds(*window);
+  }
+  if (const auto rank = arg_number(args, "--rank")) {
+    config.inference.rank = static_cast<int>(*rank);
+  }
+  if (arg_flag(args, "--no-pairs")) config.window.track_pairs = false;
+  if (!args.empty()) return usage();
+
+  const trace::Trace capture = trace::load_trace_file(capture_path);
+
+  // Inference pool: every standard ID in the capture (a vendor DBC would
+  // be better; this is the conservative default).
+  std::set<std::uint32_t> pool_set;
+  for (const trace::LogRecord& record : capture) {
+    if (!record.frame.id().is_extended()) {
+      pool_set.insert(record.frame.id().raw());
+    }
+  }
+  const std::vector<std::uint32_t> pool(pool_set.begin(), pool_set.end());
+  if (pool.empty()) {
+    std::fprintf(stderr, "capture has no standard-ID frames\n");
+    return 65;
+  }
+
+  ids::IdsPipeline pipeline(golden, pool, config);
+  std::size_t alerts = 0;
+  auto report = [&](const ids::WindowReport& window_report) {
+    if (!window_report.detection.alert) return;
+    ++alerts;
+    std::printf("[%9.3fs] INTRUSION bits:",
+                util::to_seconds(window_report.snapshot.start));
+    for (int bit : window_report.detection.alerted_bits) {
+      std::printf(" %d", bit + 1);
+    }
+    if (window_report.inference) {
+      std::printf("  candidates:");
+      for (std::uint32_t id : window_report.inference->ranked_candidates) {
+        std::printf(" %03X", id);
+      }
+    }
+    std::printf("\n");
+  };
+  for (const trace::LogRecord& record : capture) {
+    if (auto r = pipeline.on_frame(record.timestamp, record.frame.id())) {
+      report(*r);
+    }
+  }
+  if (auto r = pipeline.finish()) report(*r);
+
+  std::printf("%zu/%llu windows alerted (alpha=%.1f, window=%.2fs)\n", alerts,
+              static_cast<unsigned long long>(
+                  pipeline.counters().windows_closed),
+              config.detector.alpha,
+              util::to_seconds(config.window.duration));
+  return alerts > 0 ? 2 : 0;
+}
+
+int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
+  const double seconds = arg_number(args, "--seconds").value_or(20.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      arg_number(args, "--seed").value_or(42.0));
+  const std::string behavior_name =
+      arg_string(args, "--behavior").value_or("city");
+  const std::optional<std::string> attack_name = arg_string(args, "--attack");
+  const double frequency = arg_number(args, "--freq").value_or(100.0);
+  if (!args.empty()) return usage();
+
+  trace::DrivingBehavior behavior = trace::DrivingBehavior::kCity;
+  bool found = false;
+  for (trace::DrivingBehavior b : trace::kAllBehaviors) {
+    if (trace::behavior_name(b) == behavior_name) {
+      behavior = b;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown behavior '%s' (try:", behavior_name.c_str());
+    for (trace::DrivingBehavior b : trace::kAllBehaviors) {
+      std::fprintf(stderr, " %s", std::string(trace::behavior_name(b)).c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 65;
+  }
+
+  const trace::SyntheticVehicle vehicle;
+  can::BusSimulator bus(vehicle.config().bus);
+  vehicle.attach_to(bus, behavior, seed);
+
+  if (attack_name) {
+    attacks::ScenarioKind kind;
+    if (*attack_name == "single") kind = attacks::ScenarioKind::kSingle;
+    else if (*attack_name == "multi2") kind = attacks::ScenarioKind::kMulti2;
+    else if (*attack_name == "multi3") kind = attacks::ScenarioKind::kMulti3;
+    else if (*attack_name == "multi4") kind = attacks::ScenarioKind::kMulti4;
+    else if (*attack_name == "weak") kind = attacks::ScenarioKind::kWeak;
+    else if (*attack_name == "flood") kind = attacks::ScenarioKind::kFlood;
+    else {
+      std::fprintf(stderr,
+                   "unknown attack '%s' (single|multi2|multi3|multi4|weak|"
+                   "flood)\n",
+                   attack_name->c_str());
+      return 65;
+    }
+    attacks::AttackConfig attack_config;
+    attack_config.frequency_hz = frequency;
+    attack_config.start = util::from_seconds(seconds * 0.25);
+    attack_config.stop = util::from_seconds(seconds * 0.75);
+    auto attack =
+        attacks::make_scenario(kind, vehicle, attack_config, util::Rng(seed));
+    std::printf("attack: %s", std::string(attacks::scenario_name(kind)).c_str());
+    if (!attack.planned_ids.empty()) {
+      std::printf(" IDs:");
+      for (std::uint32_t id : attack.planned_ids) std::printf(" %03X", id);
+    }
+    std::printf(" active %.1fs..%.1fs at %.0f Hz\n", seconds * 0.25,
+                seconds * 0.75, frequency);
+    bus.add_node(std::move(attack.node));
+  }
+
+  trace::TraceRecorder recorder(bus, "can0");
+  bus.run_until(util::from_seconds(seconds));
+  trace::save_trace_file(out_path, recorder.trace(),
+                         trace::TraceFormat::kCandump);
+  std::printf("%zu frames -> %s (bus load %.0f%%)\n", recorder.trace().size(),
+              out_path.c_str(), bus.stats().load() * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+
+  try {
+    if (command == "info" && args.size() == 1) {
+      return cmd_info(args[0]);
+    }
+    if (command == "train" && args.size() >= 2) {
+      return cmd_train(args[0], {args.begin() + 1, args.end()});
+    }
+    if (command == "detect" && args.size() >= 2) {
+      const std::string tpl = args[0];
+      const std::string capture = args[1];
+      return cmd_detect(tpl, capture, {args.begin() + 2, args.end()});
+    }
+    if (command == "simulate" && !args.empty()) {
+      const std::string out = args[0];
+      return cmd_simulate(out, {args.begin() + 1, args.end()});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 65;  // EX_DATAERR
+  }
+  return usage();
+}
