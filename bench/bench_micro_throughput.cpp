@@ -31,15 +31,32 @@ const trace::Trace& capture() {
 void BM_BitSlice_CountFrame(benchmark::State& state) {
   const trace::Trace& trace = capture();
   ids::BitCounters counters;
+  benchmark::DoNotOptimize(&counters);  // escape: keep the stores alive
   std::size_t i = 0;
   for (auto _ : state) {
     counters.add(trace[i].frame.id().raw());
+    benchmark::ClobberMemory();
     i = (i + 1) % trace.size();
   }
   benchmark::DoNotOptimize(counters.total());
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BitSlice_CountFrame);
+
+void BM_BitSlice_CountFramePairs(benchmark::State& state) {
+  const trace::Trace& trace = capture();
+  ids::PairCounters counters;
+  benchmark::DoNotOptimize(&counters);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    counters.add(trace[i].frame.id().raw());
+    benchmark::ClobberMemory();
+    i = (i + 1) % trace.size();
+  }
+  benchmark::DoNotOptimize(counters.total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitSlice_CountFramePairs);
 
 void BM_Muter_CountFrame(benchmark::State& state) {
   const trace::Trace& trace = capture();
@@ -88,6 +105,21 @@ void BM_BitSlice_WindowDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitSlice_WindowDecision);
+
+void BM_BitSlice_WindowSnapshot(benchmark::State& state) {
+  const trace::Trace& trace = capture();
+  ids::BitCounters counters;
+  for (const trace::LogRecord& r : trace) {
+    counters.add(r.frame.id().raw());
+  }
+  std::vector<double> probabilities;
+  std::vector<double> entropies;
+  for (auto _ : state) {
+    counters.snapshot_into(probabilities, entropies);
+    benchmark::DoNotOptimize(entropies.data());
+  }
+}
+BENCHMARK(BM_BitSlice_WindowSnapshot);
 
 void BM_Muter_WindowDecision(benchmark::State& state) {
   const trace::Trace& trace = capture();

@@ -1,0 +1,239 @@
+#include "engine/fleet_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace canids::engine {
+
+/// All per-stream state lives here and is touched by exactly two threads:
+/// the producer (queue push side, `closed`) and the owning shard worker
+/// (queue pop side, pipeline, reports, `drained`).
+struct FleetEngine::StreamState {
+  StreamState(std::string key_in, int shard_in,
+              std::shared_ptr<const ids::GoldenTemplate> golden,
+              std::vector<std::uint32_t> id_pool, const FleetConfig& config)
+      : key(std::move(key_in)),
+        shard(shard_in),
+        queue(config.queue_capacity),
+        pipeline(std::move(golden), std::move(id_pool), config.pipeline) {}
+
+  std::string key;
+  int shard;
+  SpscQueue<FrameItem> queue;
+  std::atomic<bool> closed{false};
+  ids::IdsPipeline pipeline;
+  std::vector<ids::WindowReport> reports;
+  bool drained = false;  ///< worker-local: final window flushed
+};
+
+void FleetEngine::Stream::push(util::TimeNs timestamp, can::CanId id) {
+  const FrameItem item{timestamp, id};
+  while (!state_->queue.try_push(item)) {
+    std::this_thread::yield();
+  }
+}
+
+void FleetEngine::Stream::push_batch(const FrameItem* items,
+                                     std::size_t count) {
+  while (count > 0) {
+    const std::size_t pushed = state_->queue.try_push_batch(items, count);
+    items += pushed;
+    count -= pushed;
+    if (count > 0) std::this_thread::yield();
+  }
+}
+
+void FleetEngine::Stream::close() {
+  state_->closed.store(true, std::memory_order_release);
+}
+
+const std::string& FleetEngine::Stream::key() const noexcept {
+  return state_->key;
+}
+
+FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
+                         FleetConfig config)
+    : golden_(std::move(golden)), config_(config) {
+  CANIDS_EXPECTS(golden_ != nullptr);
+  CANIDS_EXPECTS(config_.shards >= 0);
+  CANIDS_EXPECTS(config_.queue_capacity > 0);
+  CANIDS_EXPECTS(config_.drain_batch > 0);
+  shard_count_ =
+      config_.shards > 0
+          ? config_.shards
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  shards_.resize(static_cast<std::size_t>(shard_count_));
+}
+
+FleetEngine::~FleetEngine() {
+  if (started_ && !finished_) {
+    abort_.store(true, std::memory_order_release);
+    for (Shard& shard : shards_) {
+      if (shard.worker.joinable()) shard.worker.join();
+    }
+  }
+}
+
+int FleetEngine::shard_of(std::string_view key) const noexcept {
+  return static_cast<int>(std::hash<std::string_view>{}(key) %
+                          static_cast<std::size_t>(shard_count_));
+}
+
+FleetEngine::Stream FleetEngine::open_stream(
+    std::string key, std::vector<std::uint32_t> id_pool) {
+  CANIDS_EXPECTS(!started_);
+  CANIDS_EXPECTS(!key.empty());
+  const int shard = shard_of(key);
+  streams_.push_back(std::make_unique<StreamState>(
+      std::move(key), shard, golden_, std::move(id_pool), config_));
+  StreamState* state = streams_.back().get();
+  shards_[static_cast<std::size_t>(shard)].streams.push_back(state);
+  return Stream(state);
+}
+
+void FleetEngine::start() {
+  CANIDS_EXPECTS(!started_);
+  started_ = true;
+  for (Shard& shard : shards_) {
+    shard.worker = std::thread([this, &shard] { worker_loop(shard); });
+  }
+}
+
+void FleetEngine::handle_report(StreamState& stream,
+                                ids::WindowReport report) {
+  const bool alert = report.detection.alert;
+  if (config_.collect_reports) stream.reports.push_back(report);
+  if (alert) alerts_.publish(FleetAlert{stream.key, std::move(report)});
+}
+
+void FleetEngine::worker_loop(Shard& shard) {
+  std::vector<FrameItem> batch;
+  batch.reserve(config_.drain_batch);
+
+  auto feed = [&](StreamState& stream) {
+    for (const FrameItem& item : batch) {
+      if (auto report = stream.pipeline.on_frame(item.timestamp, item.id)) {
+        handle_report(stream, std::move(*report));
+      }
+    }
+  };
+
+  std::size_t remaining = shard.streams.size();
+  while (remaining > 0 && !abort_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    for (StreamState* stream : shard.streams) {
+      if (stream->drained) continue;
+      batch.clear();
+      if (stream->queue.pop_batch(batch, config_.drain_batch) > 0) {
+        feed(*stream);
+        progressed = true;
+        continue;
+      }
+      if (!stream->closed.load(std::memory_order_acquire)) continue;
+      // `closed` is published after the producer's final push, so one more
+      // pop after observing it catches any frames we raced past.
+      if (stream->queue.pop_batch(batch, config_.drain_batch) > 0) {
+        feed(*stream);
+        progressed = true;
+        continue;
+      }
+      if (auto report = stream->pipeline.finish()) {
+        handle_report(*stream, std::move(*report));
+      }
+      stream->drained = true;
+      --remaining;
+      progressed = true;
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+}
+
+std::vector<StreamResult> FleetEngine::finish() {
+  CANIDS_EXPECTS(started_);
+  CANIDS_EXPECTS(!finished_);
+  for (Shard& shard : shards_) {
+    if (shard.worker.joinable()) shard.worker.join();
+  }
+  finished_ = true;
+
+  std::vector<StreamResult> results;
+  results.reserve(streams_.size());
+  totals_ = ids::PipelineCounters{};
+  for (std::unique_ptr<StreamState>& state : streams_) {
+    StreamResult result;
+    result.key = state->key;
+    result.shard = state->shard;
+    result.counters = state->pipeline.counters();
+    result.reports = std::move(state->reports);
+    totals_ += result.counters;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+/// Frames a pump accumulates before one batched queue publish.
+constexpr std::size_t kIngestBatch = 128;
+
+FleetRunResult run_fleet(FleetEngine& engine,
+                         std::vector<NamedSource> sources,
+                         int producer_threads) {
+  std::vector<FleetEngine::Stream> streams;
+  streams.reserve(sources.size());
+  for (NamedSource& named : sources) {
+    streams.push_back(
+        engine.open_stream(named.key, std::move(named.id_pool)));
+  }
+  engine.start();
+
+  FleetRunResult result;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> next{0};
+  auto pump = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sources.size()) break;
+      FleetEngine::Stream stream = streams[i];
+      std::vector<FleetEngine::FrameItem> batch;
+      batch.reserve(kIngestBatch);
+      try {
+        trace::TraceSource& source = *sources[i].source;
+        while (auto frame = source.next()) {
+          batch.push_back(
+              FleetEngine::FrameItem{frame->timestamp, frame->frame.id()});
+          if (batch.size() == kIngestBatch) {
+            stream.push_batch(batch.data(), batch.size());
+            batch.clear();
+          }
+        }
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        result.errors.emplace_back(stream.key(), e.what());
+      }
+      if (!batch.empty()) stream.push_batch(batch.data(), batch.size());
+      batch.clear();
+      stream.close();
+    }
+  };
+
+  const std::size_t want =
+      producer_threads > 0 ? static_cast<std::size_t>(producer_threads)
+                           : static_cast<std::size_t>(engine.shards());
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(want, sources.size()));
+  std::vector<std::thread> pumps;
+  pumps.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pumps.emplace_back(pump);
+  pump();
+  for (std::thread& thread : pumps) thread.join();
+
+  result.streams = engine.finish();
+  return result;
+}
+
+}  // namespace canids::engine

@@ -1,0 +1,166 @@
+// The sharded multi-vehicle fleet engine. The paper's detector needs only
+// 11 bit counters and a shared golden template per stream, which makes it
+// unusually cheap to replicate: this engine runs one IdsPipeline per
+// vehicle/channel stream, routes frames to a fixed worker shard by stream
+// key, and aggregates counters and alerts fleet-wide.
+//
+//   producers (trace files, taps)          shard workers
+//   ───────────────────────────           ───────────────
+//   Stream::push ──► SpscQueue ──► worker: per-stream IdsPipeline ──► AlertSink
+//                                   (one shard owns a stream outright, so
+//                                    per-stream frame order — and therefore
+//                                    every WindowReport — is identical to a
+//                                    sequential run)
+//
+// All streams share one immutable GoldenTemplate through
+// shared_ptr<const GoldenTemplate>; per-stream state stays O(1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/alert_sink.h"
+#include "engine/spsc_queue.h"
+#include "ids/pipeline.h"
+#include "trace/trace_source.h"
+
+namespace canids::engine {
+
+struct FleetConfig {
+  /// Worker shards; 0 = one per available hardware thread.
+  int shards = 0;
+  /// Bounded frames buffered per stream between its producer and shard
+  /// (backpressure: push blocks when full, so memory stays bounded).
+  std::size_t queue_capacity = 8192;
+  /// Max frames a worker drains from one stream before rotating to its
+  /// next stream (fairness bound under load).
+  std::size_t drain_batch = 256;
+  /// IDS configuration applied to every stream's pipeline.
+  ids::PipelineConfig pipeline;
+  /// Retain every WindowReport per stream (memory grows with window count;
+  /// meant for the determinism tests and small fleets, not production).
+  bool collect_reports = false;
+};
+
+/// Final per-stream accounting returned by FleetEngine::finish.
+struct StreamResult {
+  std::string key;
+  int shard = 0;
+  ids::PipelineCounters counters;
+  /// Every closed window in stream order; only when config.collect_reports.
+  std::vector<ids::WindowReport> reports;
+};
+
+class FleetEngine {
+  struct StreamState;
+
+ public:
+  /// One queued frame. Identifiers are kept as CanId so extended-frame
+  /// streams work unchanged.
+  struct FrameItem {
+    util::TimeNs timestamp = 0;
+    can::CanId id;
+  };
+
+  /// Producer-side handle to one stream. At most one thread may push into
+  /// a given stream at a time (the queue below is single-producer).
+  class Stream {
+   public:
+    /// Enqueue one frame; yields while the bounded queue is full.
+    void push(util::TimeNs timestamp, can::CanId id);
+    /// Enqueue a batch with a single queue publish — the high-throughput
+    /// ingest path (run_fleet uses it). Yields while full.
+    void push_batch(const FrameItem* items, std::size_t count);
+    /// Mark end-of-stream; the shard then flushes the final window.
+    void close();
+    [[nodiscard]] const std::string& key() const noexcept;
+
+   private:
+    friend class FleetEngine;
+    explicit Stream(StreamState* state) : state_(state) {}
+    StreamState* state_;
+  };
+
+  explicit FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
+                       FleetConfig config = {});
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Register a stream (before start()). A non-empty `id_pool` enables
+  /// malicious-ID inference on the stream's alerting windows.
+  Stream open_stream(std::string key,
+                     std::vector<std::uint32_t> id_pool = {});
+
+  /// Launch the shard workers. Call after every open_stream.
+  void start();
+
+  /// Wait until every stream is closed and fully drained, stop the
+  /// workers, and return per-stream results in open_stream order. All
+  /// streams must have been close()d (or be closed concurrently by still
+  /// running producers) before the engine can finish.
+  std::vector<StreamResult> finish();
+
+  [[nodiscard]] int shards() const noexcept { return shard_count_; }
+  [[nodiscard]] int shard_of(std::string_view key) const noexcept;
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return streams_.size();
+  }
+  [[nodiscard]] AlertSink& alerts() noexcept { return alerts_; }
+  /// Aggregate counters over all streams; valid after finish().
+  [[nodiscard]] const ids::PipelineCounters& totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Shard {
+    std::vector<StreamState*> streams;
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void handle_report(StreamState& stream, ids::WindowReport report);
+
+  std::shared_ptr<const ids::GoldenTemplate> golden_;
+  FleetConfig config_;
+  int shard_count_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  std::vector<Shard> shards_;
+  AlertSink alerts_;
+  ids::PipelineCounters totals_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::atomic<bool> abort_{false};
+};
+
+/// A keyed frame source for run_fleet.
+struct NamedSource {
+  std::string key;
+  std::unique_ptr<trace::TraceSource> source;
+  /// Optional legal-ID set; non-empty enables inference for this stream.
+  std::vector<std::uint32_t> id_pool;
+};
+
+struct FleetRunResult {
+  std::vector<StreamResult> streams;
+  /// Ingest failures as (stream key, error message); the stream keeps the
+  /// frames that arrived before the failure.
+  std::vector<std::pair<std::string, std::string>> errors;
+};
+
+/// Convenience driver: one stream per source, `producer_threads` ingest
+/// threads (0 = shard count) work-stealing whole sources — a source is
+/// pumped by exactly one thread, preserving its frame order — then
+/// finish(). The calling thread pumps too.
+FleetRunResult run_fleet(FleetEngine& engine,
+                         std::vector<NamedSource> sources,
+                         int producer_threads = 0);
+
+}  // namespace canids::engine

@@ -3,6 +3,7 @@
 // raises the intrusion alert. alpha is chosen from [3,10]; the paper uses 5.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ids/golden_template.h"
@@ -28,6 +29,8 @@ struct BitDeviation {
   double threshold = 0.0;         ///< Th_i
   bool alerted = false;
   double delta_probability = 0.0; ///< observed p_i - template p̄_i (signed)
+
+  friend bool operator==(const BitDeviation&, const BitDeviation&) = default;
 };
 
 struct DetectionResult {
@@ -38,11 +41,20 @@ struct DetectionResult {
   util::TimeNs window_start = 0;
   util::TimeNs window_end = 0;
   std::uint64_t frames = 0;
+
+  friend bool operator==(const DetectionResult&,
+                         const DetectionResult&) = default;
 };
 
 class Detector {
  public:
-  Detector(GoldenTemplate golden, DetectorConfig config = {});
+  /// Primary constructor: shares an immutable template. Thousands of
+  /// per-stream detectors (see engine::FleetEngine) reference one copy.
+  Detector(std::shared_ptr<const GoldenTemplate> golden,
+           DetectorConfig config = {});
+
+  /// Convenience: wraps a caller-owned template into a private shared copy.
+  explicit Detector(GoldenTemplate golden, DetectorConfig config = {});
 
   [[nodiscard]] DetectionResult evaluate(const WindowSnapshot& window) const;
 
@@ -51,6 +63,11 @@ class Detector {
     return thresholds_;
   }
   [[nodiscard]] const GoldenTemplate& golden() const noexcept {
+    return *golden_;
+  }
+  /// The shared template, for handing to further detectors free of copies.
+  [[nodiscard]] const std::shared_ptr<const GoldenTemplate>& golden_ptr()
+      const noexcept {
     return golden_;
   }
   [[nodiscard]] const DetectorConfig& config() const noexcept {
@@ -58,7 +75,7 @@ class Detector {
   }
 
  private:
-  GoldenTemplate golden_;
+  std::shared_ptr<const GoldenTemplate> golden_;
   DetectorConfig config_;
   std::vector<double> thresholds_;
 };

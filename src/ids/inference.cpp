@@ -28,12 +28,13 @@ struct Hypothesis {
 
 }  // namespace
 
-InferenceEngine::InferenceEngine(GoldenTemplate golden,
+InferenceEngine::InferenceEngine(std::shared_ptr<const GoldenTemplate> golden,
                                  std::vector<std::uint32_t> id_pool,
                                  InferenceConfig config)
     : golden_(std::move(golden)),
       id_pool_(std::move(id_pool)),
       config_(config) {
+  CANIDS_EXPECTS(golden_ != nullptr);
   CANIDS_EXPECTS(!id_pool_.empty());
   CANIDS_EXPECTS(config_.rank > 0);
   CANIDS_EXPECTS(config_.beam_width > 0);
@@ -50,10 +51,10 @@ InferenceEngine::InferenceEngine(GoldenTemplate golden,
   // Precompute each candidate's centered feature pattern against the
   // template: marginal part (bit_i - p̄_i), then — when the template carries
   // pair statistics — the co-occurrence part (bit_i*bit_j - q̄_ij).
-  const auto width = static_cast<std::size_t>(golden_.width);
+  const auto width = static_cast<std::size_t>(golden_->width);
   const std::size_t pairs =
-      golden_.has_pairs()
-          ? static_cast<std::size_t>(pair_count(golden_.width))
+      golden_->has_pairs()
+          ? static_cast<std::size_t>(pair_count(golden_->width))
           : 0;
   patterns_.resize(id_pool_.size());
   for (std::size_t n = 0; n < id_pool_.size(); ++n) {
@@ -61,31 +62,37 @@ InferenceEngine::InferenceEngine(GoldenTemplate golden,
     pattern.resize(width + pairs);
     const std::uint32_t id = id_pool_[n];
     for (std::size_t b = 0; b < width; ++b) {
-      pattern[b] = id_bit(id, static_cast<int>(b), golden_.width) -
-                   golden_.mean_probability[b];
+      pattern[b] = id_bit(id, static_cast<int>(b), golden_->width) -
+                   golden_->mean_probability[b];
     }
     if (pairs > 0) {
-      for (int i = 0; i < golden_.width - 1; ++i) {
-        const double bi = id_bit(id, i, golden_.width);
-        for (int j = i + 1; j < golden_.width; ++j) {
+      for (int i = 0; i < golden_->width - 1; ++i) {
+        const double bi = id_bit(id, i, golden_->width);
+        for (int j = i + 1; j < golden_->width; ++j) {
           const auto idx =
-              static_cast<std::size_t>(pair_index(i, j, golden_.width));
+              static_cast<std::size_t>(pair_index(i, j, golden_->width));
           pattern[width + idx] =
-              bi * id_bit(id, j, golden_.width) -
-              golden_.mean_pair_probability[idx];
+              bi * id_bit(id, j, golden_->width) -
+              golden_->mean_pair_probability[idx];
         }
       }
     }
   }
 }
 
+InferenceEngine::InferenceEngine(GoldenTemplate golden,
+                                 std::vector<std::uint32_t> id_pool,
+                                 InferenceConfig config)
+    : InferenceEngine(std::make_shared<const GoldenTemplate>(std::move(golden)),
+                      std::move(id_pool), config) {}
+
 std::vector<BitConstraint> InferenceEngine::derive_constraints(
     const std::vector<double>& delta_p) const {
   std::vector<BitConstraint> constraints;
-  for (int i = 0; i < golden_.width; ++i) {
+  for (int i = 0; i < golden_->width; ++i) {
     const auto b = static_cast<std::size_t>(i);
     const double noise =
-        std::max(config_.noise_multiplier * golden_.probability_range(i),
+        std::max(config_.noise_multiplier * golden_->probability_range(i),
                  config_.min_probability_shift);
     if (std::abs(delta_p[b]) > noise) {
       constraints.push_back(BitConstraint{i, delta_p[b] > 0.0, delta_p[b]});
@@ -98,7 +105,7 @@ bool InferenceEngine::satisfies(std::uint32_t id,
                                 const std::vector<BitConstraint>& cs) const {
   for (const BitConstraint& c : cs) {
     const bool bit =
-        ((id >> (golden_.width - 1 - c.bit)) & 1u) != 0;
+        ((id >> (golden_->width - 1 - c.bit)) & 1u) != 0;
     if (bit != c.injected_bit) return false;
   }
   return true;
@@ -110,34 +117,34 @@ double InferenceEngine::alignment_score(
   // an injected ID pushes p_i toward its own bit values, so the true ID's
   // (bit_i - p̄_i) pattern aligns with delta_p.
   double score = 0.0;
-  for (int i = 0; i < golden_.width; ++i) {
+  for (int i = 0; i < golden_->width; ++i) {
     const auto b = static_cast<std::size_t>(i);
     score += delta_p[b] *
-             (id_bit(id, i, golden_.width) - golden_.mean_probability[b]);
+             (id_bit(id, i, golden_->width) - golden_->mean_probability[b]);
   }
   return score;
 }
 
 InferenceResult InferenceEngine::infer(const WindowSnapshot& window) const {
-  CANIDS_EXPECTS(window.width() == golden_.width);
-  const auto width = static_cast<std::size_t>(golden_.width);
-  const bool use_pairs = golden_.has_pairs() && window.has_pairs();
+  CANIDS_EXPECTS(window.width() == golden_->width);
+  const auto width = static_cast<std::size_t>(golden_->width);
+  const bool use_pairs = golden_->has_pairs() && window.has_pairs();
   const std::size_t pairs =
-      use_pairs ? static_cast<std::size_t>(pair_count(golden_.width)) : 0;
+      use_pairs ? static_cast<std::size_t>(pair_count(golden_->width)) : 0;
   const std::size_t dims = width + pairs;
 
   // ---- Observation vector: marginal shifts, then pair shifts --------------
   std::vector<double> delta(dims);
   std::vector<double> delta_p(width);
   for (std::size_t b = 0; b < width; ++b) {
-    delta_p[b] = window.probabilities[b] - golden_.mean_probability[b];
+    delta_p[b] = window.probabilities[b] - golden_->mean_probability[b];
     delta[b] = delta_p[b];
   }
   if (use_pairs) {
     CANIDS_EXPECTS(window.pair_probabilities.size() == pairs);
     for (std::size_t idx = 0; idx < pairs; ++idx) {
       delta[width + idx] =
-          window.pair_probabilities[idx] - golden_.mean_pair_probability[idx];
+          window.pair_probabilities[idx] - golden_->mean_pair_probability[idx];
     }
   }
 

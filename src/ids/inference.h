@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -51,6 +52,8 @@ struct BitConstraint {
   int bit = 0;              ///< 0-based, MSB first
   bool injected_bit = false;
   double shift = 0.0;       ///< signed delta p_i
+
+  friend bool operator==(const BitConstraint&, const BitConstraint&) = default;
 };
 
 struct InferenceResult {
@@ -62,12 +65,21 @@ struct InferenceResult {
   double estimated_injection_fraction = 0.0;  ///< fitted lambda
   int estimated_num_ids = 0;
   double fit_residual = 0.0;
+
+  friend bool operator==(const InferenceResult&,
+                         const InferenceResult&) = default;
 };
 
 class InferenceEngine {
  public:
-  /// `id_pool` is the legal identifier set of the vehicle (ascending or
-  /// not; it is sorted internally). Must not be empty.
+  /// Primary constructor: shares an immutable template. `id_pool` is the
+  /// legal identifier set of the vehicle (ascending or not; it is sorted
+  /// internally). Must not be empty.
+  InferenceEngine(std::shared_ptr<const GoldenTemplate> golden,
+                  std::vector<std::uint32_t> id_pool,
+                  InferenceConfig config = {});
+
+  /// Convenience: wraps a caller-owned template into a private shared copy.
   InferenceEngine(GoldenTemplate golden, std::vector<std::uint32_t> id_pool,
                   InferenceConfig config = {});
 
@@ -92,7 +104,7 @@ class InferenceEngine {
   [[nodiscard]] bool satisfies(std::uint32_t id,
                                const std::vector<BitConstraint>& cs) const;
 
-  GoldenTemplate golden_;
+  std::shared_ptr<const GoldenTemplate> golden_;
   std::vector<std::uint32_t> id_pool_;  // ascending
   InferenceConfig config_;
   /// Per-pool-ID centered feature patterns against the template (marginal

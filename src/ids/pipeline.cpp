@@ -1,14 +1,26 @@
 #include "ids/pipeline.h"
 
+#include "util/contracts.h"
+
 namespace canids::ids {
 
-IdsPipeline::IdsPipeline(GoldenTemplate golden,
+IdsPipeline::IdsPipeline(std::shared_ptr<const GoldenTemplate> golden,
                          std::vector<std::uint32_t> id_pool,
                          PipelineConfig config)
     : config_(config),
       accumulator_(config.window),
-      detector_(golden, config.detector),
-      inference_(std::move(golden), std::move(id_pool), config.inference) {}
+      detector_(golden, config.detector) {
+  if (config_.infer_on_alert && !id_pool.empty()) {
+    inference_.emplace(std::move(golden), std::move(id_pool),
+                       config_.inference);
+  }
+}
+
+IdsPipeline::IdsPipeline(GoldenTemplate golden,
+                         std::vector<std::uint32_t> id_pool,
+                         PipelineConfig config)
+    : IdsPipeline(std::make_shared<const GoldenTemplate>(std::move(golden)),
+                  std::move(id_pool), config) {}
 
 WindowReport IdsPipeline::judge(WindowSnapshot snapshot) {
   WindowReport report;
@@ -17,8 +29,8 @@ WindowReport IdsPipeline::judge(WindowSnapshot snapshot) {
   if (report.detection.evaluated) ++counters_.windows_evaluated;
   if (report.detection.alert) {
     ++counters_.alerts;
-    if (config_.infer_on_alert) {
-      report.inference = inference_.infer(snapshot);
+    if (inference_) {
+      report.inference = inference_->infer(snapshot);
     }
   }
   report.snapshot = std::move(snapshot);

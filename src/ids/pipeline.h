@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,6 +29,8 @@ struct WindowReport {
   DetectionResult detection;
   /// Present when the window alerted and inference is enabled.
   std::optional<InferenceResult> inference;
+
+  friend bool operator==(const WindowReport&, const WindowReport&) = default;
 };
 
 struct PipelineCounters {
@@ -35,10 +38,29 @@ struct PipelineCounters {
   std::uint64_t windows_closed = 0;
   std::uint64_t windows_evaluated = 0;
   std::uint64_t alerts = 0;
+
+  PipelineCounters& operator+=(const PipelineCounters& other) noexcept {
+    frames += other.frames;
+    windows_closed += other.windows_closed;
+    windows_evaluated += other.windows_evaluated;
+    alerts += other.alerts;
+    return *this;
+  }
+
+  friend bool operator==(const PipelineCounters&,
+                         const PipelineCounters&) = default;
 };
 
 class IdsPipeline {
  public:
+  /// Primary constructor: shares one immutable template across any number
+  /// of pipelines (the fleet engine runs thousands of streams against a
+  /// single copy). An empty `id_pool` disables malicious-ID inference;
+  /// detection is unaffected.
+  IdsPipeline(std::shared_ptr<const GoldenTemplate> golden,
+              std::vector<std::uint32_t> id_pool, PipelineConfig config = {});
+
+  /// Convenience: wraps a caller-owned template into a private shared copy.
   IdsPipeline(GoldenTemplate golden, std::vector<std::uint32_t> id_pool,
               PipelineConfig config = {});
 
@@ -59,8 +81,15 @@ class IdsPipeline {
     return counters_;
   }
   [[nodiscard]] const Detector& detector() const noexcept { return detector_; }
-  [[nodiscard]] const InferenceEngine& inference_engine() const noexcept {
-    return inference_;
+  /// Whether alerted windows get a malicious-ID inference pass (requires a
+  /// non-empty id pool and config.infer_on_alert).
+  [[nodiscard]] bool inference_enabled() const noexcept {
+    return inference_.has_value();
+  }
+  /// The inference engine; only callable when inference_enabled().
+  [[nodiscard]] const InferenceEngine& inference_engine() const {
+    CANIDS_EXPECTS(inference_.has_value());
+    return *inference_;
   }
   [[nodiscard]] const PipelineConfig& config() const noexcept {
     return config_;
@@ -72,7 +101,7 @@ class IdsPipeline {
   PipelineConfig config_;
   WindowAccumulator accumulator_;
   Detector detector_;
-  InferenceEngine inference_;
+  std::optional<InferenceEngine> inference_;
   PipelineCounters counters_;
   std::function<void(const WindowReport&)> alert_handler_;
 };

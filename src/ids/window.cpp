@@ -18,8 +18,7 @@ WindowSnapshot WindowAccumulator::snapshot(util::TimeNs end) const {
   snap.end = end;
   snap.frames = counters_.total();
   if (counters_.total() > 0) {
-    snap.probabilities = counters_.marginals().probabilities();
-    snap.entropies = counters_.marginals().entropies();
+    counters_.marginals().snapshot_into(snap.probabilities, snap.entropies);
     if (config_.track_pairs) {
       snap.pair_probabilities = counters_.pair_probabilities();
     }

@@ -32,6 +32,9 @@ struct WindowSnapshot {
   [[nodiscard]] bool has_pairs() const noexcept {
     return !pair_probabilities.empty();
   }
+
+  friend bool operator==(const WindowSnapshot&,
+                         const WindowSnapshot&) = default;
 };
 
 struct WindowConfig {

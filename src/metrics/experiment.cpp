@@ -28,7 +28,11 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
 }
 
 const ids::GoldenTemplate& ExperimentRunner::train() {
-  if (golden_) return *golden_;
+  return *train_shared();
+}
+
+std::shared_ptr<const ids::GoldenTemplate> ExperimentRunner::train_shared() {
+  if (golden_) return golden_;
 
   const util::TimeNs window = config_.pipeline.window.duration;
   const std::size_t per_behavior =
@@ -66,8 +70,8 @@ const ids::GoldenTemplate& ExperimentRunner::train() {
     ++behavior_index;
   }
 
-  golden_ = builder.build();
-  return *golden_;
+  golden_ = std::make_shared<const ids::GoldenTemplate>(builder.build());
+  return golden_;
 }
 
 const std::vector<ids::WindowSnapshot>& ExperimentRunner::training_snapshots() {
@@ -106,7 +110,7 @@ TrialResult ExperimentRunner::run_single_id_trial(std::uint32_t id,
 TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
                                                double frequency_hz,
                                                std::uint64_t trial_seed) {
-  const ids::GoldenTemplate& golden = train();
+  const std::shared_ptr<const ids::GoldenTemplate> golden = train_shared();
 
   TrialResult result;
   result.kind = attack.kind;

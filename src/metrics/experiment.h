@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -78,6 +79,10 @@ class ExperimentRunner {
   /// windows spread evenly over all driving behaviours.
   [[nodiscard]] const ids::GoldenTemplate& train();
 
+  /// Same template as a shareable immutable handle; every trial pipeline
+  /// (and any fleet engine built on this runner) references it copy-free.
+  [[nodiscard]] std::shared_ptr<const ids::GoldenTemplate> train_shared();
+
   /// The individual training windows (for Fig. 2 and the stability bench).
   [[nodiscard]] const std::vector<ids::WindowSnapshot>& training_snapshots();
 
@@ -105,7 +110,7 @@ class ExperimentRunner {
 
   ExperimentConfig config_;
   trace::SyntheticVehicle vehicle_;
-  std::optional<ids::GoldenTemplate> golden_;
+  std::shared_ptr<const ids::GoldenTemplate> golden_;
   std::vector<ids::WindowSnapshot> training_snapshots_;
 };
 

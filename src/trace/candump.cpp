@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
@@ -129,21 +130,32 @@ std::string to_candump_line(const LogRecord& record) {
          record.frame.to_string();
 }
 
-Trace read_candump(std::istream& in) {
-  Trace trace;
+CandumpSource::CandumpSource(std::istream& in) : in_(&in) {}
+
+CandumpSource::CandumpSource(const std::filesystem::path& path)
+    : owned_(std::make_unique<std::ifstream>(path)), in_(owned_.get()) {
+  if (!*in_) {
+    throw std::runtime_error("cannot open trace file: " + path.string());
+  }
+}
+
+std::optional<LogRecord> CandumpSource::next_record() {
   std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
     const std::string_view body = util::trim(line);
     if (body.empty() || body.front() == '#') continue;
     try {
-      trace.push_back(parse_candump_line(body));
+      return parse_candump_line(body);
     } catch (const ParseError& e) {
-      throw ParseError(e.what(), line_number);
+      throw ParseError(e.what(), line_number_);
     }
   }
-  return trace;
+  return std::nullopt;
+}
+
+Trace read_candump(std::istream& in) {
+  return CandumpSource(in).drain_records();
 }
 
 void write_candump(std::ostream& out, const Trace& trace) {

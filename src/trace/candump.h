@@ -8,11 +8,14 @@
 // Extended identifiers are recognised by their 8-hex-digit ID field.
 #pragma once
 
+#include <filesystem>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "trace/log_record.h"
+#include "trace/trace_source.h"
 
 namespace canids::trace {
 
@@ -22,8 +25,25 @@ namespace canids::trace {
 /// Render one record as a candump log line (no trailing newline).
 [[nodiscard]] std::string to_candump_line(const LogRecord& record);
 
-/// Read a whole stream; blank lines and '#'-comment lines are skipped.
-/// Throws ParseError annotated with the failing line number.
+/// Streams a candump log record-by-record in constant memory. Blank lines
+/// and '#'-comment lines are skipped; malformed lines throw ParseError
+/// annotated with the 1-based line number.
+class CandumpSource final : public RecordSource {
+ public:
+  /// Stream from a caller-owned stream (must outlive the source).
+  explicit CandumpSource(std::istream& in);
+  /// Stream from a file; throws std::runtime_error when it cannot open.
+  explicit CandumpSource(const std::filesystem::path& path);
+
+  std::optional<LogRecord> next_record() override;
+
+ private:
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_;
+  std::size_t line_number_ = 0;
+};
+
+/// Read a whole stream; thin wrapper over CandumpSource.
 [[nodiscard]] Trace read_candump(std::istream& in);
 
 /// Write all records, one line each.

@@ -191,4 +191,23 @@ Trace SyntheticVehicle::record_trace(DrivingBehavior behavior,
   return recorder.take();
 }
 
+std::unique_ptr<TraceSource> SyntheticVehicle::stream_trace(
+    DrivingBehavior behavior, util::TimeNs duration,
+    std::uint64_t run_seed) const {
+  return std::make_unique<SyntheticVehicleSource>(*this, behavior, duration,
+                                                  run_seed);
+}
+
+SyntheticVehicleSource::SyntheticVehicleSource(const SyntheticVehicle& vehicle,
+                                               DrivingBehavior behavior,
+                                               util::TimeNs duration,
+                                               std::uint64_t run_seed)
+    : bus_(vehicle.config().bus), source_(bus_, duration) {
+  vehicle.attach_to(bus_, behavior, run_seed);
+}
+
+std::optional<can::TimedFrame> SyntheticVehicleSource::next() {
+  return source_.next();
+}
+
 }  // namespace canids::trace

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -22,6 +23,7 @@
 #include "can/bus.h"
 #include "can/node.h"
 #include "trace/log_record.h"
+#include "trace/trace_source.h"
 #include "util/rng.h"
 
 namespace canids::trace {
@@ -105,12 +107,37 @@ class SyntheticVehicle {
                                    util::TimeNs duration,
                                    std::uint64_t run_seed) const;
 
+  /// Streaming variant of record_trace: the drive is simulated in bounded
+  /// chunks as the caller pulls frames, so hours of traffic never
+  /// materialize in memory. Frame-for-frame identical to record_trace for
+  /// the same (behavior, duration, run_seed).
+  [[nodiscard]] std::unique_ptr<TraceSource> stream_trace(
+      DrivingBehavior behavior, util::TimeNs duration,
+      std::uint64_t run_seed) const;
+
  private:
   void build_id_layout();
 
   VehicleConfig config_;
   std::vector<std::uint32_t> id_pool_;
   std::vector<EcuDescriptor> ecus_;
+};
+
+/// The engine behind SyntheticVehicle::stream_trace — owns the bus and
+/// advances it on demand through a BusStreamSource.
+class SyntheticVehicleSource final : public TraceSource {
+ public:
+  SyntheticVehicleSource(const SyntheticVehicle& vehicle,
+                         DrivingBehavior behavior, util::TimeNs duration,
+                         std::uint64_t run_seed);
+  SyntheticVehicleSource(const SyntheticVehicleSource&) = delete;
+  SyntheticVehicleSource& operator=(const SyntheticVehicleSource&) = delete;
+
+  std::optional<can::TimedFrame> next() override;
+
+ private:
+  can::BusSimulator bus_;
+  BusStreamSource source_;
 };
 
 }  // namespace canids::trace

@@ -28,6 +28,25 @@ TraceFormat detect_format(std::istream& in) {
   return format;
 }
 
+TraceFormat detect_format_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file: " + path.string());
+  }
+  return detect_format(in);
+}
+
+std::unique_ptr<RecordSource> open_trace_source(
+    const std::filesystem::path& path) {
+  switch (detect_format_file(path)) {
+    case TraceFormat::kCandump:
+      return std::make_unique<CandumpSource>(path);
+    case TraceFormat::kVspyCsv:
+      return std::make_unique<VspyCsvSource>(path);
+  }
+  throw ParseError("unknown trace format");
+}
+
 Trace load_trace(std::istream& in) {
   switch (detect_format(in)) {
     case TraceFormat::kCandump:
@@ -39,11 +58,7 @@ Trace load_trace(std::istream& in) {
 }
 
 Trace load_trace_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open trace file: " + path.string());
-  }
-  return load_trace(in);
+  return open_trace_source(path)->drain_records();
 }
 
 void save_trace(std::ostream& out, const Trace& trace, TraceFormat format) {

@@ -4,9 +4,11 @@
 
 #include <filesystem>
 #include <iosfwd>
+#include <memory>
 
 #include "can/bus.h"
 #include "trace/log_record.h"
+#include "trace/trace_source.h"
 
 namespace canids::trace {
 
@@ -15,7 +17,18 @@ enum class TraceFormat : std::uint8_t { kCandump, kVspyCsv };
 /// Guess the format from the first non-empty line of content.
 [[nodiscard]] TraceFormat detect_format(std::istream& in);
 
-/// Load a trace from a stream, auto-detecting the format.
+/// Guess the format from the first non-empty line of a file.
+[[nodiscard]] TraceFormat detect_format_file(const std::filesystem::path& path);
+
+/// Open a capture file as a streaming source, auto-detecting the format.
+/// The returned source reads the file incrementally — constant memory no
+/// matter how long the log is. Throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] std::unique_ptr<RecordSource> open_trace_source(
+    const std::filesystem::path& path);
+
+/// Load a trace from a stream, auto-detecting the format. Thin batch
+/// wrapper over the streaming sources.
 [[nodiscard]] Trace load_trace(std::istream& in);
 
 /// Load a trace from a file; throws ParseError / std::runtime_error.

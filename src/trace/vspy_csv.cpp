@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
@@ -125,31 +126,41 @@ std::string vspy_header() {
   return "Time,Channel,ID,Extended,Remote,DLC,B1,B2,B3,B4,B5,B6,B7,B8";
 }
 
-Trace read_vspy_csv(std::istream& in) {
-  Trace trace;
+VspyCsvSource::VspyCsvSource(std::istream& in) : in_(&in) {}
+
+VspyCsvSource::VspyCsvSource(const std::filesystem::path& path)
+    : owned_(std::make_unique<std::ifstream>(path)), in_(owned_.get()) {
+  if (!*in_) {
+    throw std::runtime_error("cannot open trace file: " + path.string());
+  }
+}
+
+std::optional<LogRecord> VspyCsvSource::next_record() {
   std::string line;
-  std::size_t line_number = 0;
-  bool header_seen = false;
-  while (std::getline(in, line)) {
-    ++line_number;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
     const std::string_view body = util::trim(line);
     if (body.empty()) continue;
-    if (!header_seen) {
+    if (!header_seen_) {
       if (body.find("Time") == std::string_view::npos ||
           body.find("ID") == std::string_view::npos) {
         throw ParseError("missing header row (need Time and ID columns)",
-                         line_number);
+                         line_number_);
       }
-      header_seen = true;
+      header_seen_ = true;
       continue;
     }
     try {
-      trace.push_back(parse_vspy_row(body));
+      return parse_vspy_row(body);
     } catch (const ParseError& e) {
-      throw ParseError(e.what(), line_number);
+      throw ParseError(e.what(), line_number_);
     }
   }
-  return trace;
+  return std::nullopt;
+}
+
+Trace read_vspy_csv(std::istream& in) {
+  return VspyCsvSource(in).drain_records();
 }
 
 void write_vspy_csv(std::ostream& out, const Trace& trace) {

@@ -8,11 +8,14 @@
 // Missing trailing byte columns are accepted when DLC is short.
 #pragma once
 
+#include <filesystem>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "trace/log_record.h"
+#include "trace/trace_source.h"
 
 namespace canids::trace {
 
@@ -25,8 +28,26 @@ namespace canids::trace {
 /// The canonical header row written by write_vspy_csv.
 [[nodiscard]] std::string vspy_header();
 
-/// Read a whole stream. The first non-empty line must be a header containing
-/// "Time" and "ID" columns. Throws ParseError with line numbers.
+/// Streams a Vehicle-Spy CSV export row-by-row in constant memory. The
+/// first non-empty line must be a header containing "Time" and "ID"
+/// columns; malformed rows throw ParseError with the 1-based line number.
+class VspyCsvSource final : public RecordSource {
+ public:
+  /// Stream from a caller-owned stream (must outlive the source).
+  explicit VspyCsvSource(std::istream& in);
+  /// Stream from a file; throws std::runtime_error when it cannot open.
+  explicit VspyCsvSource(const std::filesystem::path& path);
+
+  std::optional<LogRecord> next_record() override;
+
+ private:
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_;
+  std::size_t line_number_ = 0;
+  bool header_seen_ = false;
+};
+
+/// Read a whole stream; thin wrapper over VspyCsvSource.
 [[nodiscard]] Trace read_vspy_csv(std::istream& in);
 
 /// Write header plus all records.

@@ -1,0 +1,282 @@
+#include "engine/fleet_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ids/bit_counters.h"
+#include "ids/golden_template.h"
+#include "trace/trace_source.h"
+#include "util/rng.h"
+
+namespace canids::engine {
+namespace {
+
+using ids::BitCounters;
+using ids::GoldenTemplate;
+using ids::IdsPipeline;
+using ids::PipelineConfig;
+using ids::TemplateBuilder;
+using ids::WindowConfig;
+using ids::WindowReport;
+using ids::WindowSnapshot;
+using util::kSecond;
+
+/// Fleet fixture: one shared template, per-vehicle deterministic frame
+/// streams (clean mix plus optional injected bursts), mirroring the
+/// pipeline_test world but as materialized TimedFrame sequences.
+struct FleetWorld {
+  std::vector<std::uint32_t> pool = {0x080, 0x120, 0x1C0, 0x260, 0x300,
+                                     0x3A0, 0x440, 0x4E0, 0x580, 0x620};
+  std::shared_ptr<const GoldenTemplate> golden;
+
+  FleetWorld() {
+    TemplateBuilder builder;
+    util::Rng rng(5);
+    for (int w = 0; w < 40; ++w) {
+      BitCounters counters;
+      for (std::uint32_t id : pool) {
+        const int count = 30 + static_cast<int>(rng.between(-1, 1));
+        for (int i = 0; i < count; ++i) counters.add(id);
+      }
+      WindowSnapshot snap;
+      snap.frames = counters.total();
+      snap.probabilities = counters.probabilities();
+      snap.entropies = counters.entropies();
+      builder.add_window(snap);
+    }
+    golden = std::make_shared<const GoldenTemplate>(
+        builder.build(ids::kPaperTrainingWindows));
+  }
+
+  /// `seconds` of traffic; seconds listed in `attacked` get 120 injected
+  /// frames of pool[4]. Deterministic per (vehicle_seed).
+  [[nodiscard]] std::vector<can::TimedFrame> make_trace(
+      std::uint64_t vehicle_seed, int seconds,
+      const std::vector<int>& attacked = {}) const {
+    std::vector<can::TimedFrame> frames;
+    for (int s = 0; s < seconds; ++s) {
+      std::vector<std::uint32_t> stream;
+      for (std::uint32_t id : pool) {
+        for (int i = 0; i < 30; ++i) stream.push_back(id);
+      }
+      const bool attack =
+          std::find(attacked.begin(), attacked.end(), s) != attacked.end();
+      if (attack) {
+        for (int i = 0; i < 120; ++i) stream.push_back(pool[4]);
+      }
+      util::Rng shuffle_rng(vehicle_seed * 1000 +
+                            static_cast<std::uint64_t>(s));
+      for (std::size_t i = stream.size(); i > 1; --i) {
+        std::swap(stream[i - 1], stream[shuffle_rng.below(i)]);
+      }
+      const util::TimeNs start = static_cast<util::TimeNs>(s) * kSecond;
+      const util::TimeNs step =
+          kSecond / static_cast<util::TimeNs>(stream.size());
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        frames.push_back(can::TimedFrame{
+            start + static_cast<util::TimeNs>(i) * step,
+            can::Frame::data_frame(can::CanId::standard(stream[i]), {}),
+            can::TimedFrame::kUnknownSource});
+      }
+    }
+    return frames;
+  }
+
+  [[nodiscard]] PipelineConfig pipeline_config() const {
+    PipelineConfig config;
+    config.window.mode = WindowConfig::Mode::kByTime;
+    config.window.duration = kSecond;
+    return config;
+  }
+};
+
+/// Sequential reference: one IdsPipeline over the same frames.
+[[nodiscard]] std::vector<WindowReport> sequential_reports(
+    const FleetWorld& world, const std::vector<can::TimedFrame>& frames) {
+  IdsPipeline pipeline(world.golden, world.pool, world.pipeline_config());
+  std::vector<WindowReport> reports;
+  for (const can::TimedFrame& frame : frames) {
+    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
+      reports.push_back(std::move(*report));
+    }
+  }
+  if (auto report = pipeline.finish()) reports.push_back(std::move(*report));
+  return reports;
+}
+
+TEST(FleetEngineTest, ShardedRunMatchesSequentialByteForByte) {
+  const FleetWorld world;
+  std::map<std::string, std::vector<can::TimedFrame>> traces;
+  traces["car-00"] = world.make_trace(1, 6);
+  traces["car-01"] = world.make_trace(2, 6, {2, 3});
+  traces["car-02"] = world.make_trace(3, 6);
+  traces["car-03"] = world.make_trace(4, 6, {1});
+
+  for (const int shards : {1, 3, 8}) {
+    FleetConfig config;
+    config.shards = shards;
+    config.queue_capacity = 256;  // small queues: exercise backpressure
+    config.pipeline = world.pipeline_config();
+    config.collect_reports = true;
+
+    FleetEngine engine(world.golden, config);
+    std::vector<NamedSource> sources;
+    for (const auto& [key, frames] : traces) {
+      sources.push_back(NamedSource{
+          key, std::make_unique<trace::MemorySource>(frames), world.pool});
+    }
+    FleetRunResult run = run_fleet(engine, std::move(sources));
+    ASSERT_TRUE(run.errors.empty());
+    ASSERT_EQ(run.streams.size(), traces.size());
+
+    for (const StreamResult& stream : run.streams) {
+      const std::vector<WindowReport> expected =
+          sequential_reports(world, traces.at(stream.key));
+      EXPECT_EQ(stream.reports, expected)
+          << "stream " << stream.key << " diverged at " << shards
+          << " shards";
+      EXPECT_EQ(stream.counters.frames, traces.at(stream.key).size());
+    }
+  }
+}
+
+TEST(FleetEngineTest, TotalsAggregateAllStreams) {
+  const FleetWorld world;
+  FleetConfig config;
+  config.shards = 2;
+  config.pipeline = world.pipeline_config();
+
+  FleetEngine engine(world.golden, config);
+  std::vector<NamedSource> sources;
+  std::size_t expected_frames = 0;
+  for (int v = 0; v < 5; ++v) {
+    auto frames = world.make_trace(static_cast<std::uint64_t>(v) + 10, 4);
+    expected_frames += frames.size();
+    sources.push_back(NamedSource{
+        "veh-" + std::to_string(v),
+        std::make_unique<trace::MemorySource>(std::move(frames)),
+        {}});
+  }
+  FleetRunResult run = run_fleet(engine, std::move(sources));
+  ASSERT_TRUE(run.errors.empty());
+
+  ids::PipelineCounters sum;
+  for (const StreamResult& stream : run.streams) sum += stream.counters;
+  EXPECT_EQ(engine.totals(), sum);
+  EXPECT_EQ(engine.totals().frames, expected_frames);
+  EXPECT_GT(engine.totals().windows_closed, 0u);
+}
+
+TEST(FleetEngineTest, AlertSinkSeesOnlyAttackedStreams) {
+  const FleetWorld world;
+  FleetConfig config;
+  config.shards = 4;
+  config.pipeline = world.pipeline_config();
+
+  FleetEngine engine(world.golden, config);
+  std::vector<NamedSource> sources;
+  sources.push_back(NamedSource{
+      "clean",
+      std::make_unique<trace::MemorySource>(world.make_trace(21, 6)),
+      world.pool});
+  sources.push_back(NamedSource{
+      "attacked",
+      std::make_unique<trace::MemorySource>(
+          world.make_trace(22, 6, {1, 2, 3})),
+      world.pool});
+
+  FleetRunResult run = run_fleet(engine, std::move(sources));
+  ASSERT_TRUE(run.errors.empty());
+
+  const std::vector<FleetAlert> alerts = engine.alerts().take();
+  ASSERT_FALSE(alerts.empty());
+  std::size_t counted = 0;
+  for (const FleetAlert& alert : alerts) {
+    EXPECT_EQ(alert.stream, "attacked");
+    EXPECT_TRUE(alert.report.detection.alert);
+    // Inference runs because the stream was opened with an id pool.
+    EXPECT_TRUE(alert.report.inference.has_value());
+    ++counted;
+  }
+  EXPECT_EQ(engine.alerts().count(), counted);
+  for (const StreamResult& stream : run.streams) {
+    if (stream.key == "clean") EXPECT_EQ(stream.counters.alerts, 0u);
+    if (stream.key == "attacked") EXPECT_EQ(stream.counters.alerts, counted);
+  }
+}
+
+TEST(AlertSinkTest, HandlerModeStreamsWithoutRetaining) {
+  AlertSink sink;
+  std::size_t seen = 0;
+  sink.set_handler([&seen](const FleetAlert&) { ++seen; });
+  sink.publish(FleetAlert{"s", {}});
+  sink.publish(FleetAlert{"s", {}});
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_TRUE(sink.take().empty()) << "handler mode must not retain";
+}
+
+TEST(FleetEngineTest, StreamKeysRouteToStableShards) {
+  const FleetWorld world;
+  FleetConfig config;
+  config.shards = 4;
+  FleetEngine engine(world.golden, config);
+  EXPECT_EQ(engine.shards(), 4);
+  for (const std::string key : {"a", "bb", "ccc"}) {
+    const int shard = engine.shard_of(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, engine.shard_of(key)) << "unstable hash for " << key;
+  }
+}
+
+TEST(FleetEngineTest, IngestErrorsAreReportedPerStream) {
+  const FleetWorld world;
+
+  /// A source that yields a few frames, then fails like a corrupt log.
+  class FailingSource final : public trace::TraceSource {
+   public:
+    explicit FailingSource(std::vector<can::TimedFrame> frames)
+        : frames_(std::move(frames)) {}
+    std::optional<can::TimedFrame> next() override {
+      if (index_ < frames_.size()) return frames_[index_++];
+      throw trace::ParseError("synthetic corruption", 123);
+    }
+
+   private:
+    std::vector<can::TimedFrame> frames_;
+    std::size_t index_ = 0;
+  };
+
+  FleetConfig config;
+  config.shards = 2;
+  config.pipeline = world.pipeline_config();
+  FleetEngine engine(world.golden, config);
+
+  std::vector<NamedSource> sources;
+  sources.push_back(NamedSource{
+      "good", std::make_unique<trace::MemorySource>(world.make_trace(31, 3)),
+      {}});
+  sources.push_back(NamedSource{
+      "bad", std::make_unique<FailingSource>(world.make_trace(32, 1)), {}});
+
+  FleetRunResult run = run_fleet(engine, std::move(sources));
+  ASSERT_EQ(run.errors.size(), 1u);
+  EXPECT_EQ(run.errors[0].first, "bad");
+  EXPECT_NE(run.errors[0].second.find("synthetic corruption"),
+            std::string::npos);
+  // Both streams still produce results; the bad one kept its pre-failure
+  // frames.
+  ASSERT_EQ(run.streams.size(), 2u);
+  for (const StreamResult& stream : run.streams) {
+    EXPECT_GT(stream.counters.frames, 0u) << stream.key;
+  }
+}
+
+}  // namespace
+}  // namespace canids::engine

@@ -81,8 +81,11 @@ TEST(BitCountersTest, ExtendedCounterWorks) {
 }
 
 TEST(BitCountersTest, StateBytesIsConstantAndSmall) {
-  // The §V.E claim: 11 counters + total regardless of traffic. 12 * 8 bytes.
-  EXPECT_EQ(BitCounters::state_bytes(), 96u);
+  // The §V.E claim: per-bus state independent of traffic. 11 counters +
+  // total (12 * 8 bytes) plus the table-assisted hot path's three packed
+  // lane words and pending count (24 + 4 bytes).
+  EXPECT_EQ(BitCounters::state_bytes(), 96u + 24u + 4u);
+  // The 29-bit counter has no lane table: 29 counters + total.
   EXPECT_EQ(BitCounters29::state_bytes(), 240u);
 }
 
@@ -207,9 +210,10 @@ TEST(PairCountersTest, ResetClearsPairs) {
 }
 
 TEST(PairCountersTest, StateStillConstantInIdCount) {
-  // 11 marginal counters + total + 55 pair counters, independent of how
-  // many identifiers the bus carries.
-  EXPECT_EQ(PairCounters::state_bytes(), 96u + 55u * 8u);
+  // Marginal counter state + 55 pair counters, independent of how many
+  // identifiers the bus carries.
+  EXPECT_EQ(PairCounters::state_bytes(),
+            BitCounters::state_bytes() + 55u * 8u);
 }
 
 TEST(PairCountersTest, PairProbabilityRejectsBadArgs) {

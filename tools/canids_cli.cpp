@@ -4,14 +4,21 @@
 //   canids train <template-out> <clean>...     build a golden template
 //   canids detect <template> <capture>         run the IDS over a capture
 //       [--alpha A] [--window SECONDS] [--rank N] [--no-pairs]
+//   canids fleet <template> <dir|capture>...   sharded multi-vehicle analysis
+//       [--shards N] [--producers N] [--alpha A] [--window S] [--no-pairs]
+//       [--quiet]
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
 //
 // Captures may be candump logs or Vehicle-Spy-style CSV (auto-detected).
-// `detect` exits 0 when the capture is clean and 2 when intrusions were
-// flagged, so it can gate scripts.
+// `detect` and `fleet` exit 0 when the traffic is clean and 2 when
+// intrusions were flagged, so they can gate scripts. `fleet` streams every
+// capture (constant memory per stream) through one worker shard per core.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "attacks/scenario.h"
+#include "engine/fleet_engine.h"
 #include "ids/pipeline.h"
 #include "metrics/experiment.h"
 #include "trace/trace_io.h"
@@ -36,6 +44,9 @@ int usage() {
                "  canids train <template-out> <clean-capture>...\n"
                "  canids detect <template> <capture> [--alpha A] "
                "[--window S] [--rank N] [--no-pairs]\n"
+               "  canids fleet <template> <dir-or-capture>... [--shards N] "
+               "[--producers N] [--alpha A] [--window S] [--no-pairs] "
+               "[--quiet]\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
                "[--seed N] [--attack KIND] [--freq HZ]\n");
   return 64;  // EX_USAGE
@@ -121,16 +132,25 @@ int cmd_train(const std::string& out_path,
   return 0;
 }
 
+/// Load a serialized golden template; nullptr (after an error message)
+/// when the file cannot be read.
+std::shared_ptr<const ids::GoldenTemplate> load_template(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return nullptr;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return std::make_shared<const ids::GoldenTemplate>(
+      ids::GoldenTemplate::deserialize(text));
+}
+
 int cmd_detect(const std::string& template_path, const std::string& capture_path,
                std::vector<std::string> args) {
-  std::ifstream tpl_in(template_path);
-  if (!tpl_in) {
-    std::fprintf(stderr, "cannot read %s\n", template_path.c_str());
-    return 66;
-  }
-  const std::string tpl_text((std::istreambuf_iterator<char>(tpl_in)),
-                             std::istreambuf_iterator<char>());
-  const ids::GoldenTemplate golden = ids::GoldenTemplate::deserialize(tpl_text);
+  const auto golden = load_template(template_path);
+  if (!golden) return 66;
 
   ids::PipelineConfig config;
   if (const auto alpha = arg_number(args, "--alpha")) {
@@ -192,6 +212,126 @@ int cmd_detect(const std::string& template_path, const std::string& capture_path
               config.detector.alpha,
               util::to_seconds(config.window.duration));
   return alerts > 0 ? 2 : 0;
+}
+
+/// Expand directory arguments into their capture files (sorted); plain
+/// files pass through.
+std::vector<std::filesystem::path> collect_captures(
+    const std::vector<std::string>& inputs) {
+  std::vector<std::filesystem::path> paths;
+  for (const std::string& input : inputs) {
+    const std::filesystem::path path(input);
+    if (std::filesystem::is_directory(path)) {
+      std::vector<std::filesystem::path> in_dir;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) in_dir.push_back(entry.path());
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      paths.insert(paths.end(), in_dir.begin(), in_dir.end());
+    } else {
+      paths.push_back(path);
+    }
+  }
+  return paths;
+}
+
+int cmd_fleet(const std::string& template_path,
+              const std::vector<std::string>& inputs,
+              std::vector<std::string> args) {
+  const auto golden = load_template(template_path);
+  if (!golden) return 66;
+
+  engine::FleetConfig config;
+  if (const auto shards = arg_number(args, "--shards")) {
+    config.shards = static_cast<int>(*shards);
+  }
+  int producers = 0;
+  if (const auto value = arg_number(args, "--producers")) {
+    producers = static_cast<int>(*value);
+  }
+  if (const auto alpha = arg_number(args, "--alpha")) {
+    config.pipeline.detector.alpha = *alpha;
+  }
+  if (const auto window = arg_number(args, "--window")) {
+    config.pipeline.window.duration = util::from_seconds(*window);
+  }
+  if (arg_flag(args, "--no-pairs")) config.pipeline.window.track_pairs = false;
+  const bool quiet = arg_flag(args, "--quiet");
+  if (!args.empty()) return usage();
+
+  const std::vector<std::filesystem::path> paths = collect_captures(inputs);
+  if (paths.empty()) {
+    std::fprintf(stderr, "no capture files found\n");
+    return 66;
+  }
+
+  engine::FleetEngine fleet(golden, config);
+  if (quiet) {
+    // Streaming mode with a no-op handler: alerts are counted but never
+    // retained, keeping long runs at constant memory.
+    fleet.alerts().set_handler([](const engine::FleetAlert&) {});
+  } else {
+    fleet.alerts().set_handler([](const engine::FleetAlert& alert) {
+      std::printf("[%s @ %9.3fs] INTRUSION bits:", alert.stream.c_str(),
+                  util::to_seconds(alert.report.snapshot.start));
+      for (int bit : alert.report.detection.alerted_bits) {
+        std::printf(" %d", bit + 1);
+      }
+      std::printf("\n");
+    });
+  }
+
+  // Stream keys: bare filenames, unless two captures share one (e.g. the
+  // same log name under two fleet directories) — then full paths, so
+  // alerts stay attributable.
+  std::set<std::string> names;
+  bool name_collision = false;
+  for (const std::filesystem::path& path : paths) {
+    if (!names.insert(path.filename().string()).second) {
+      name_collision = true;
+    }
+  }
+  std::vector<engine::NamedSource> sources;
+  sources.reserve(paths.size());
+  for (const std::filesystem::path& path : paths) {
+    sources.push_back(engine::NamedSource{
+        name_collision ? path.string() : path.filename().string(),
+        trace::open_trace_source(path),
+        {}});
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  engine::FleetRunResult run =
+      engine::run_fleet(fleet, std::move(sources), producers);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  for (const auto& [key, message] : run.errors) {
+    std::fprintf(stderr, "error: %s: %s\n", key.c_str(), message.c_str());
+  }
+
+  util::Table table({"stream", "shard", "frames", "windows", "alerts"});
+  for (const engine::StreamResult& stream : run.streams) {
+    table.add_row({stream.key, std::to_string(stream.shard),
+                   std::to_string(stream.counters.frames),
+                   std::to_string(stream.counters.windows_closed),
+                   std::to_string(stream.counters.alerts)});
+  }
+  table.print(std::cout);
+
+  const ids::PipelineCounters& totals = fleet.totals();
+  std::printf(
+      "%zu streams on %d shards: %llu frames, %llu windows, %llu alerts "
+      "in %.2fs (%.0f frames/s)\n",
+      run.streams.size(), fleet.shards(),
+      static_cast<unsigned long long>(totals.frames),
+      static_cast<unsigned long long>(totals.windows_closed),
+      static_cast<unsigned long long>(totals.alerts), elapsed,
+      elapsed > 0 ? static_cast<double>(totals.frames) / elapsed : 0.0);
+  if (!run.errors.empty()) return 65;
+  return totals.alerts > 0 ? 2 : 0;
 }
 
 int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
@@ -284,6 +424,22 @@ int main(int argc, char** argv) {
       const std::string tpl = args[0];
       const std::string capture = args[1];
       return cmd_detect(tpl, capture, {args.begin() + 2, args.end()});
+    }
+    if (command == "fleet" && args.size() >= 2) {
+      const std::string tpl = args[0];
+      std::vector<std::string> inputs;
+      std::vector<std::string> flags;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        // Flags (and their values) start at the first "--" argument.
+        if (args[i].rfind("--", 0) == 0) {
+          flags.assign(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.end());
+          break;
+        }
+        inputs.push_back(args[i]);
+      }
+      if (inputs.empty()) return usage();
+      return cmd_fleet(tpl, inputs, std::move(flags));
     }
     if (command == "simulate" && !args.empty()) {
       const std::string out = args[0];
