@@ -5,9 +5,14 @@
 //   2. the blind spot: an attacker using an identifier never seen in
 //      training is invisible to the interval method but still shifts the
 //      bit entropy.
+// Every trial goes through ExperimentRunner::run_trial_with — the same
+// unified-backend plumbing the fleet engine and the CLI use — with
+// identical seeds per row, so both detectors judge identical traffic.
+#include <algorithm>
 #include <iostream>
 
 #include "baselines/interval_ids.h"
+#include "ids/bit_counters.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
 
@@ -17,39 +22,30 @@ int main() {
   metrics::ExperimentConfig config;
   config.training_windows = ids::kPaperTrainingWindows;
   config.seed = 0xC311;
-  metrics::ExperimentRunner runner(config);
-  (void)runner.train();
-  const trace::SyntheticVehicle& vehicle = runner.vehicle();
-
-  // --- Train the interval baseline on clean traffic ---------------------------
   // violations_to_alert is calibrated up from the default: on a loaded bus,
   // arbitration backlogs drain in bursts, so known IDs legitimately arrive
   // back-to-back a handful of times per second. The threshold must sit
   // above that congestion noise (otherwise the interval IDS false-alarms on
   // any busy window) while an actual 100 Hz injection still produces ~100
   // violations per window.
-  baselines::IntervalConfig interval_config;
-  interval_config.violations_to_alert = 12;
-  baselines::IntervalIds interval(interval_config);
-  for (std::uint64_t seed = 0; seed < trace::kAllBehaviors.size(); ++seed) {
-    for (const trace::LogRecord& r : vehicle.record_trace(
-             trace::kAllBehaviors[seed], 6 * util::kSecond, 200 + seed)) {
-      interval.train(r.timestamp, r.frame.id().raw());
-    }
-  }
-  interval.finish_training();
+  config.interval.violations_to_alert = 12;
+  metrics::ExperimentRunner runner(config);
+  (void)runner.train();
+  const trace::SyntheticVehicle& vehicle = runner.vehicle();
 
   util::print_banner(std::cout,
                      "CMP11 — bit-slice entropy IDS (this paper) vs "
                      "time-interval IDS (Song et al. [11])");
 
   // --- 1. Storage --------------------------------------------------------------
+  const auto interval_model = runner.interval_model();
   util::Table storage({"detector", "state (bytes)", "growth"});
   storage.add_row({"bit-slice (ours)",
                    std::to_string(ids::BitCounters::state_bytes()),
                    "O(1) regardless of identifier count"});
-  storage.add_row({"interval [11]", std::to_string(interval.state_bytes()),
-                   "O(#IDs): " + std::to_string(interval.tracked_ids()) +
+  storage.add_row({"interval [11]",
+                   std::to_string(interval_model->state_bytes()),
+                   "O(#IDs): " + std::to_string(interval_model->tracked_ids()) +
                        " identifiers tracked"});
   storage.print(std::cout);
   std::cout << "paper claim: \"each ID needs a specific storage space ... "
@@ -67,79 +63,48 @@ int main() {
     }
   }
 
-  can::BusSimulator bus(vehicle.config().bus);
-  vehicle.attach_to(bus, trace::DrivingBehavior::kCity, 321);
-  attacks::AttackConfig attack_config;
-  attack_config.frequency_hz = 100.0;
-  auto attack =
-      attacks::make_single_id_attack(attack_config, unseen_id, util::Rng(5));
-  bus.add_node(std::move(attack.node));
-
-  ids::IdsPipeline pipeline(runner.train(), vehicle.id_pool(), {});
-  std::size_t windows = 0;
-  std::size_t entropy_alerts = 0;
-  std::size_t interval_alerts = 0;
-  bus.add_listener([&](const can::TimedFrame& frame) {
-    interval.observe(frame.timestamp, frame.frame.id().raw());
-    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
-      ++windows;
-      if (report->detection.alert) ++entropy_alerts;
-      if (interval.window_alert_and_reset()) ++interval_alerts;
-    }
-  });
-  bus.run_until(12 * util::kSecond);
+  const metrics::ComparisonTrial bit_unseen =
+      runner.run_single_id_trial_with("bit-entropy", unseen_id, 100.0, 321, 5);
+  const metrics::ComparisonTrial interval_unseen =
+      runner.run_single_id_trial_with("interval", unseen_id, 100.0, 321, 5);
 
   util::Table blind({"detector", "alert windows (of " +
-                                     std::to_string(windows) + ")",
+                                     std::to_string(bit_unseen.windows) + ")",
                      "verdict"});
-  blind.add_row({"bit-slice (ours)", std::to_string(entropy_alerts),
-                 entropy_alerts > 0 ? "attack detected" : "MISSED"});
-  blind.add_row({"interval [11]", std::to_string(interval_alerts),
-                 interval_alerts == 0 ? "blind to unseen ID (as the paper "
-                                        "argues)"
-                                      : "detected"});
+  blind.add_row({"bit-slice (ours)", std::to_string(bit_unseen.alerts),
+                 bit_unseen.alerts > 0 ? "attack detected" : "MISSED"});
+  blind.add_row({"interval [11]", std::to_string(interval_unseen.alerts),
+                 interval_unseen.alerts == 0
+                     ? "blind to unseen ID (as the paper argues)"
+                     : "detected"});
   blind.print(std::cout);
   std::cout << "attack: 100 Hz injection with unseen ID 0x"
             << can::CanId::standard(unseen_id).to_string()
-            << " (not in the 223-ID legal set)\n"
+            << " (not in the " << vehicle.id_pool().size()
+            << "-ID legal set)\n"
             << "paper claim: \"their method ... cannot figure out such an "
                "attack scenario when the attacker uses unseen ID\"\n";
 
   // --- 3. Known-ID speed-up: both should detect --------------------------------
-  // Re-arm the interval detector and attack with a known ID to show the
-  // comparison is fair: the baseline does work on its home turf.
-  can::BusSimulator bus2(vehicle.config().bus);
-  vehicle.attach_to(bus2, trace::DrivingBehavior::kCity, 654);
-  attacks::AttackConfig attack2;
-  attack2.frequency_hz = 100.0;
-  auto known_attack = attacks::make_scenario(attacks::ScenarioKind::kSingle,
-                                             vehicle, attack2, util::Rng(8));
-  bus2.add_node(std::move(known_attack.node));
-  ids::IdsPipeline pipeline2(runner.train(), vehicle.id_pool(), {});
-  std::size_t windows2 = 0;
-  std::size_t entropy_alerts2 = 0;
-  std::size_t interval_alerts2 = 0;
-  bus2.add_listener([&](const can::TimedFrame& frame) {
-    interval.observe(frame.timestamp, frame.frame.id().raw());
-    if (auto report = pipeline2.on_frame(frame.timestamp, frame.frame.id())) {
-      ++windows2;
-      if (report->detection.alert) ++entropy_alerts2;
-      if (interval.window_alert_and_reset()) ++interval_alerts2;
-    }
-  });
-  bus2.run_until(12 * util::kSecond);
+  // Attack with a known legal ID to show the comparison is fair: the
+  // baseline does work on its home turf.
+  const metrics::ComparisonTrial bit_known = runner.run_trial_with(
+      "bit-entropy", attacks::ScenarioKind::kSingle, 100.0, 654, 8);
+  const metrics::ComparisonTrial interval_known = runner.run_trial_with(
+      "interval", attacks::ScenarioKind::kSingle, 100.0, 654, 8);
 
   util::Table known({"detector", "alert windows (of " +
-                                     std::to_string(windows2) + ")"});
-  known.add_row({"bit-slice (ours)", std::to_string(entropy_alerts2)});
-  known.add_row({"interval [11]", std::to_string(interval_alerts2)});
+                                     std::to_string(bit_known.windows) + ")"});
+  known.add_row({"bit-slice (ours)", std::to_string(bit_known.alerts)});
+  known.add_row({"interval [11]", std::to_string(interval_known.alerts)});
   known.print(std::cout);
   std::cout << "attack with a KNOWN legal ID at 100 Hz: both detectors see "
                "it — the difference is the unseen-ID case above and the "
                "storage profile.\n";
 
-  const bool expected_shape =
-      entropy_alerts > 0 && interval_alerts == 0 && interval_alerts2 > 0;
+  const bool expected_shape = bit_unseen.alerts > 0 &&
+                              interval_unseen.alerts == 0 &&
+                              interval_known.alerts > 0;
   std::cout << (expected_shape ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
   return expected_shape ? 0 : 1;
 }

@@ -4,68 +4,19 @@
 //   2. computation: entropy over 11 Bernoulli terms vs hundreds of symbols;
 //   3. capability: bit-level inference of the malicious ID, which the
 //      symbol-level detector cannot provide at all.
-// Both detectors then face the same attacks so detection is comparable.
+// Both detectors face the same attacks through the unified detector-backend
+// API: each head-to-head row is two ExperimentRunner::run_trial_with calls
+// with identical seeds, so the traffic is replayed frame-identically.
 #include <chrono>
 #include <iostream>
+#include <unordered_map>
 
 #include "baselines/muter_entropy.h"
+#include "ids/bit_counters.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
 
 using namespace canids;
-
-namespace {
-
-/// Run both detectors over the same attacked capture; returns (bit-level
-/// alert windows, symbol-level alert windows, attacked windows).
-struct HeadToHead {
-  std::size_t windows = 0;
-  std::size_t bit_alerts = 0;
-  std::size_t symbol_alerts = 0;
-  double bit_hit = 0.0;  ///< best inference hit fraction (bit-level only)
-};
-
-HeadToHead head_to_head(metrics::ExperimentRunner& runner,
-                        const baselines::MuterEntropyIds& muter,
-                        attacks::ScenarioKind kind, double frequency,
-                        std::uint64_t seed) {
-  const trace::SyntheticVehicle& vehicle = runner.vehicle();
-  can::BusSimulator bus(vehicle.config().bus);
-  vehicle.attach_to(bus, trace::DrivingBehavior::kCity, seed);
-  attacks::AttackConfig attack_config;
-  attack_config.frequency_hz = frequency;
-  auto attack =
-      attacks::make_scenario(kind, vehicle, attack_config, util::Rng(seed));
-  const auto true_ids = attack.planned_ids;
-  bus.add_node(std::move(attack.node));
-
-  ids::IdsPipeline pipeline(runner.train(), vehicle.id_pool(), {});
-  baselines::SymbolEntropyAccumulator symbol_acc(util::kSecond);
-
-  HeadToHead result;
-  bus.add_listener([&](const can::TimedFrame& frame) {
-    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
-      ++result.windows;
-      if (report->detection.alert) {
-        ++result.bit_alerts;
-        if (report->inference) {
-          result.bit_hit = std::max(
-              result.bit_hit,
-              ids::inference_hit_fraction(
-                  true_ids, report->inference->ranked_candidates));
-        }
-      }
-    }
-    if (auto window =
-            symbol_acc.add(frame.timestamp, frame.frame.id().raw())) {
-      if (muter.evaluate(*window).alert) ++result.symbol_alerts;
-    }
-  });
-  bus.run_until(12 * util::kSecond);
-  return result;
-}
-
-}  // namespace
 
 int main() {
   metrics::ExperimentConfig config;
@@ -75,35 +26,25 @@ int main() {
   (void)runner.train();
   const trace::SyntheticVehicle& vehicle = runner.vehicle();
 
-  // --- Train the Müter baseline on the same clean traffic --------------------
-  std::vector<baselines::SymbolWindow> symbol_training;
-  baselines::SymbolEntropyAccumulator train_acc(util::kSecond);
-  for (std::uint64_t seed = 0; seed < trace::kAllBehaviors.size(); ++seed) {
-    for (const trace::LogRecord& r : vehicle.record_trace(
-             trace::kAllBehaviors[seed], 6 * util::kSecond, 100 + seed)) {
-      if (auto w = train_acc.add(r.timestamp, r.frame.id().raw())) {
-        symbol_training.push_back(*w);
-      }
-    }
-  }
-  const baselines::MuterEntropyIds muter(symbol_training);
-
   util::print_banner(std::cout,
                      "CMP8 — bit-slice entropy IDS (this paper) vs "
                      "whole-distribution entropy IDS (Muter & Asaj [8])");
 
   // --- 1. Memory -------------------------------------------------------------
-  baselines::SymbolEntropyAccumulator live_acc(util::kSecond);
+  // Feed 2 s of city traffic into the symbol backend and compare its live
+  // histogram footprint with the O(1) bit-counter state.
+  const auto symbol_probe = runner.make_backend("symbol-entropy");
   for (const trace::LogRecord& r : vehicle.record_trace(
            trace::DrivingBehavior::kCity, 2 * util::kSecond, 55)) {
-    live_acc.add(r.timestamp, r.frame.id().raw());
+    (void)symbol_probe->on_frame(r.timestamp, r.frame.id());
   }
   util::Table memory({"detector", "monitoring state (bytes)",
                       "growth with #IDs"});
   memory.add_row({"bit-slice (ours)",
                   std::to_string(ids::BitCounters::state_bytes()),
                   "O(1): 11 counters + total"});
-  memory.add_row({"Muter [8]", std::to_string(live_acc.state_bytes()),
+  memory.add_row({"Muter [8]",
+                  std::to_string(symbol_probe->describe().state_bytes),
                   "O(#IDs): one counter per identifier"});
   memory.print(std::cout);
   std::cout << "paper claim: \"we just need 11 memory spaces ... no matter "
@@ -162,16 +103,18 @@ int main() {
   for (const Case c : {Case{attacks::ScenarioKind::kSingle, 100.0},
                        Case{attacks::ScenarioKind::kMulti2, 50.0},
                        Case{attacks::ScenarioKind::kFlood, 400.0}}) {
-    const HeadToHead result =
-        head_to_head(runner, muter, c.kind, c.frequency, 11);
+    const metrics::ComparisonTrial bit =
+        runner.run_trial_with("bit-entropy", c.kind, c.frequency, 11);
+    const metrics::ComparisonTrial symbol =
+        runner.run_trial_with("symbol-entropy", c.kind, c.frequency, 11);
     versus.add_row(
         {std::string(attacks::scenario_name(c.kind)),
-         std::to_string(result.windows),
-         std::to_string(result.bit_alerts),
-         std::to_string(result.symbol_alerts),
+         std::to_string(bit.windows),
+         std::to_string(bit.alerts),
+         std::to_string(symbol.alerts),
          c.kind == attacks::ScenarioKind::kFlood
              ? "-- (changeable IDs)"
-             : "hit=" + util::Table::percent(result.bit_hit)});
+             : "hit=" + util::Table::percent(bit.best_inference_hit)});
   }
   versus.print(std::cout);
   std::cout << "expected: comparable alert coverage, but only the bit-slice "

@@ -67,16 +67,19 @@ int main() {
   config.shards = 4;
   engine::FleetEngine fleet(golden, config);
   fleet.alerts().set_handler([](const engine::FleetAlert& alert) {
-    std::printf("[%s @ %4.1fs] ALERT bits:", alert.stream.c_str(),
-                util::to_seconds(alert.report.snapshot.start));
-    for (int bit : alert.report.detection.alerted_bits) {
-      std::printf(" %d", bit + 1);
-    }
-    if (alert.report.inference) {
-      std::printf("  suspect IDs:");
-      for (std::size_t i = 0;
-           i < alert.report.inference->ranked_candidates.size() && i < 5; ++i) {
-        std::printf(" %03X", alert.report.inference->ranked_candidates[i]);
+    std::printf("[%s @ %4.1fs] ALERT", alert.stream.c_str(),
+                util::to_seconds(alert.verdict.start));
+    if (alert.verdict.detail) {
+      std::printf(" bits:");
+      for (int bit : alert.verdict.detail->alerted_bits) {
+        std::printf(" %d", bit + 1);
+      }
+      if (!alert.verdict.detail->ranked_candidates.empty()) {
+        std::printf("  suspect IDs:");
+        const auto& candidates = alert.verdict.detail->ranked_candidates;
+        for (std::size_t i = 0; i < candidates.size() && i < 5; ++i) {
+          std::printf(" %03X", candidates[i]);
+        }
       }
     }
     std::printf("\n");

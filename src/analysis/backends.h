@@ -1,0 +1,178 @@
+// The four built-in DetectorBackend implementations:
+//
+//   * BitEntropyBackend    — the paper's bit-slice entropy IDS (wraps
+//                            IdsPipeline; shares a GoldenTemplate).
+//   * SymbolEntropyBackend — Müter & Asaj [8] whole-distribution entropy
+//                            (wraps SymbolEntropyAccumulator +
+//                            MuterEntropyIds).
+//   * IntervalBackend      — Song et al. [11] message-interval IDS (wraps
+//                            IntervalIds, adds the windowing it lacked).
+//   * EnsembleDetector     — vote/any/all composition over member backends;
+//                            the first consumer the old per-detector APIs
+//                            could not express.
+//
+// The baselines support two trained-state modes: a pre-trained immutable
+// model shared across clones (the experiment harness trains one), or
+// self-calibration on the head of each stream (the CLI path, where only
+// the capture itself is available).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/detector_backend.h"
+#include "baselines/interval_ids.h"
+#include "baselines/muter_entropy.h"
+#include "ids/pipeline.h"
+
+namespace canids::analysis {
+
+/// The paper's detector behind the unified interface.
+class BitEntropyBackend final : public DetectorBackend {
+ public:
+  /// `golden` must be non-null. A non-empty `id_pool` enables malicious-ID
+  /// inference on alerting windows.
+  BitEntropyBackend(std::shared_ptr<const ids::GoldenTemplate> golden,
+                    std::vector<std::uint32_t> id_pool,
+                    ids::PipelineConfig config = {});
+
+  std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
+                                        const can::CanId& id) override;
+  std::optional<WindowVerdict> finish() override;
+  [[nodiscard]] const ids::PipelineCounters& counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] DetectorInfo describe() const override;
+  [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
+      std::vector<std::uint32_t> id_pool = {}) const override;
+
+  /// The wrapped pipeline (bit-level detail beyond the verdict model).
+  [[nodiscard]] const ids::IdsPipeline& pipeline() const noexcept {
+    return pipeline_;
+  }
+
+ private:
+  [[nodiscard]] WindowVerdict verdict_of(const ids::WindowReport& report);
+
+  std::shared_ptr<const ids::GoldenTemplate> golden_;
+  std::vector<std::uint32_t> id_pool_;
+  ids::PipelineConfig config_;
+  ids::IdsPipeline pipeline_;
+  ids::PipelineCounters counters_;
+};
+
+/// Whole-ID-distribution entropy (Müter & Asaj [8]).
+class SymbolEntropyBackend final : public DetectorBackend {
+ public:
+  /// With a pre-trained `model`, every window is judged from the start;
+  /// with nullptr the backend trains itself on the first
+  /// `calibration_windows` windows of its own stream (emitted unevaluated).
+  SymbolEntropyBackend(
+      std::shared_ptr<const baselines::MuterEntropyIds> model,
+      baselines::MuterConfig config, util::TimeNs window_duration,
+      std::size_t calibration_windows);
+
+  std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
+                                        const can::CanId& id) override;
+  std::optional<WindowVerdict> finish() override;
+  [[nodiscard]] const ids::PipelineCounters& counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] DetectorInfo describe() const override;
+  [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
+      std::vector<std::uint32_t> id_pool = {}) const override;
+
+ private:
+  [[nodiscard]] WindowVerdict judge(const baselines::SymbolWindow& window);
+
+  std::shared_ptr<const baselines::MuterEntropyIds> pretrained_;
+  std::shared_ptr<const baselines::MuterEntropyIds> model_;
+  baselines::MuterConfig config_;
+  util::TimeNs window_duration_;
+  std::size_t calibration_windows_;
+  baselines::SymbolEntropyAccumulator accumulator_;
+  std::vector<baselines::SymbolWindow> training_;
+  ids::PipelineCounters counters_;
+};
+
+/// Message-interval IDS (Song et al. [11]) with time-based windowing.
+class IntervalBackend final : public DetectorBackend {
+ public:
+  /// With a pre-trained `model` (frozen learned periods, pristine runtime
+  /// state), detection starts immediately; with nullptr the backend trains
+  /// on the first `calibration_windows` windows of its own stream.
+  IntervalBackend(std::shared_ptr<const baselines::IntervalIds> model,
+                  baselines::IntervalConfig config,
+                  util::TimeNs window_duration,
+                  std::size_t calibration_windows);
+
+  std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
+                                        const can::CanId& id) override;
+  std::optional<WindowVerdict> finish() override;
+  [[nodiscard]] const ids::PipelineCounters& counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] DetectorInfo describe() const override;
+  [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
+      std::vector<std::uint32_t> id_pool = {}) const override;
+
+ private:
+  [[nodiscard]] WindowVerdict close_window(util::TimeNs start,
+                                           util::TimeNs end);
+
+  std::shared_ptr<const baselines::IntervalIds> pretrained_;
+  baselines::IntervalConfig config_;
+  util::TimeNs window_duration_;
+  std::size_t calibration_windows_;
+  baselines::IntervalIds detector_;
+  util::WindowClock clock_;
+  util::TimeNs last_timestamp_ = 0;
+  std::uint64_t frames_in_window_ = 0;
+  std::size_t windows_trained_ = 0;
+  ids::PipelineCounters counters_;
+};
+
+/// How EnsembleDetector combines member verdicts.
+enum class EnsemblePolicy : std::uint8_t {
+  kVote,  ///< majority of the evaluated members
+  kAny,   ///< at least one evaluated member
+  kAll,   ///< every evaluated member
+};
+
+[[nodiscard]] std::string_view ensemble_policy_name(EnsemblePolicy policy);
+
+/// Runs every member over the same frames and composes their window
+/// verdicts. Members must share one window duration so their windows close
+/// on the same frames (the registry guarantees this).
+class EnsembleDetector final : public DetectorBackend {
+ public:
+  EnsembleDetector(std::vector<std::unique_ptr<DetectorBackend>> members,
+                   EnsemblePolicy policy);
+
+  std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
+                                        const can::CanId& id) override;
+  std::optional<WindowVerdict> finish() override;
+  [[nodiscard]] const ids::PipelineCounters& counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] DetectorInfo describe() const override;
+  [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
+      std::vector<std::uint32_t> id_pool = {}) const override;
+
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return members_.size();
+  }
+  [[nodiscard]] EnsemblePolicy policy() const noexcept { return policy_; }
+
+ private:
+  [[nodiscard]] WindowVerdict combine(
+      const std::vector<std::pair<std::string, WindowVerdict>>& emitted);
+
+  std::vector<std::unique_ptr<DetectorBackend>> members_;
+  EnsemblePolicy policy_;
+  ids::PipelineCounters counters_;
+};
+
+}  // namespace canids::analysis

@@ -1,0 +1,105 @@
+// String-keyed detector registry with config-driven construction:
+//
+//   auto backend = analysis::make_detector("interval", options);
+//
+// Built-in backends (bit-entropy, symbol-entropy, interval, ensemble) are
+// registered on first use; library users can add their own factories and
+// they become available everywhere a detector name is accepted — the CLI's
+// --detector flag, the fleet engine, and the experiment harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/backends.h"
+#include "analysis/detector_backend.h"
+#include "baselines/interval_ids.h"
+#include "baselines/muter_entropy.h"
+#include "ids/pipeline.h"
+
+namespace canids::analysis {
+
+/// Everything a factory may need; each backend reads its slice and ignores
+/// the rest, so one options object drives any registered detector.
+struct DetectorOptions {
+  /// Windowing (shared by all backends: one duration, aligned windows),
+  /// detector alpha, and inference knobs for the bit-entropy backend.
+  ids::PipelineConfig pipeline;
+
+  // -- bit-entropy ----------------------------------------------------------
+  /// Trained golden template; required by "bit-entropy" (and by an
+  /// "ensemble" containing it).
+  std::shared_ptr<const ids::GoldenTemplate> golden;
+  /// Legal identifier set; non-empty enables malicious-ID inference.
+  std::vector<std::uint32_t> id_pool;
+
+  // -- baselines ------------------------------------------------------------
+  baselines::MuterConfig muter;
+  baselines::IntervalConfig interval;
+  /// Pre-trained baseline models (immutable, shared across clones). When
+  /// null, the backend self-calibrates on the first `calibration_windows`
+  /// windows of its own stream.
+  std::shared_ptr<const baselines::MuterEntropyIds> muter_model;
+  std::shared_ptr<const baselines::IntervalIds> interval_model;
+  std::size_t calibration_windows = 10;
+
+  // -- ensemble -------------------------------------------------------------
+  /// Member detector names; must not include "ensemble" itself.
+  std::vector<std::string> ensemble_members = {"bit-entropy", "symbol-entropy",
+                                               "interval"};
+  EnsemblePolicy ensemble_policy = EnsemblePolicy::kVote;
+};
+
+/// Thrown by make_detector for names not in the registry; the message
+/// lists every registered name.
+class UnknownDetectorError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class DetectorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<DetectorBackend>(const DetectorOptions&)>;
+
+  struct Entry {
+    DetectorInfo info;  ///< static metadata (state_bytes/trained unset)
+    Factory factory;
+  };
+
+  /// The process-wide registry, with the four built-ins pre-registered.
+  [[nodiscard]] static DetectorRegistry& instance();
+
+  /// Register a backend. Throws std::invalid_argument on a duplicate or
+  /// empty name.
+  void add(DetectorInfo info, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Registered names in registration order (built-ins first).
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Static metadata of every registered backend, registration order.
+  [[nodiscard]] std::vector<DetectorInfo> list() const;
+
+  /// Construct a backend. Throws UnknownDetectorError for unknown names
+  /// and std::invalid_argument when `options` misses required pieces
+  /// (e.g. no golden template for "bit-entropy").
+  [[nodiscard]] std::unique_ptr<DetectorBackend> make(
+      std::string_view name, const DetectorOptions& options) const;
+
+ private:
+  DetectorRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// Convenience over DetectorRegistry::instance().make().
+[[nodiscard]] std::unique_ptr<DetectorBackend> make_detector(
+    std::string_view name, const DetectorOptions& options = {});
+
+}  // namespace canids::analysis

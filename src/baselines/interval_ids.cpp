@@ -53,7 +53,11 @@ IntervalIds::FrameVerdict IntervalIds::observe(util::TimeNs timestamp,
         config_.fast_ratio * static_cast<double>(state.mean_interval));
     if (interval < fast_bound) {
       verdict.too_fast = true;
-      if (++state.window_violations >= config_.violations_to_alert) {
+      ++state.window_violations;
+      if (state.window_violations > window_peak_violations_) {
+        window_peak_violations_ = state.window_violations;
+      }
+      if (state.window_violations >= config_.violations_to_alert) {
         window_alert_ = true;
       }
     }
@@ -65,6 +69,7 @@ IntervalIds::FrameVerdict IntervalIds::observe(util::TimeNs timestamp,
 bool IntervalIds::window_alert_and_reset() {
   const bool alert = window_alert_;
   window_alert_ = false;
+  window_peak_violations_ = 0;
   for (auto& [id, state] : learned_) state.window_violations = 0;
   return alert;
 }

@@ -50,6 +50,13 @@ class IntervalIds {
   /// violations. Resets the per-window violation state.
   [[nodiscard]] bool window_alert_and_reset();
 
+  /// Largest per-ID violation count seen in the current window — the
+  /// detector's analog of a deviation metric (compare against
+  /// config.violations_to_alert). Reset by window_alert_and_reset().
+  [[nodiscard]] int window_peak_violations() const noexcept {
+    return window_peak_violations_;
+  }
+
   [[nodiscard]] bool trained() const noexcept { return trained_; }
   [[nodiscard]] std::size_t tracked_ids() const noexcept {
     return learned_.size();
@@ -77,6 +84,7 @@ class IntervalIds {
   std::unordered_map<std::uint32_t, TrainState> training_;
   std::unordered_map<std::uint32_t, RunState> learned_;
   bool window_alert_ = false;
+  int window_peak_violations_ = 0;
   std::uint64_t unseen_frames_ = 0;
 };
 

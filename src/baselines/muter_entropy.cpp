@@ -22,13 +22,14 @@ double id_distribution_entropy(
 }
 
 SymbolEntropyAccumulator::SymbolEntropyAccumulator(util::TimeNs window)
-    : window_(window) {
-  CANIDS_EXPECTS(window_ > 0);
+    : clock_(window) {
+  CANIDS_EXPECTS(window > 0);
 }
 
-SymbolWindow SymbolEntropyAccumulator::snapshot(util::TimeNs end) const {
+SymbolWindow SymbolEntropyAccumulator::snapshot(util::TimeNs start,
+                                                util::TimeNs end) const {
   SymbolWindow out;
-  out.start = window_start_;
+  out.start = start;
   out.end = end;
   out.frames = total_;
   out.entropy = id_distribution_entropy(counts_, total_);
@@ -39,16 +40,10 @@ SymbolWindow SymbolEntropyAccumulator::snapshot(util::TimeNs end) const {
 std::optional<SymbolWindow> SymbolEntropyAccumulator::add(
     util::TimeNs timestamp, std::uint32_t id) {
   std::optional<SymbolWindow> emitted;
-  if (!started_) {
-    started_ = true;
-    window_start_ = timestamp;
-  }
-  if (timestamp >= window_start_ + window_) {
-    if (total_ > 0) emitted = snapshot(window_start_ + window_);
+  if (const auto end = clock_.advance(timestamp)) {
+    if (total_ > 0) emitted = snapshot(*end - clock_.duration(), *end);
     counts_.clear();
     total_ = 0;
-    const auto periods = (timestamp - window_start_) / window_;
-    window_start_ += periods * window_;
   }
   ++counts_[id];
   ++total_;
@@ -58,10 +53,10 @@ std::optional<SymbolWindow> SymbolEntropyAccumulator::add(
 
 std::optional<SymbolWindow> SymbolEntropyAccumulator::flush() {
   if (total_ == 0) return std::nullopt;
-  const SymbolWindow out = snapshot(last_timestamp_);
+  const SymbolWindow out = snapshot(clock_.start(), last_timestamp_);
   counts_.clear();
   total_ = 0;
-  window_start_ = last_timestamp_;
+  clock_.restart(last_timestamp_);
   return out;
 }
 
@@ -76,8 +71,24 @@ std::size_t SymbolEntropyAccumulator::state_bytes() const noexcept {
 MuterEntropyIds::MuterEntropyIds(const std::vector<SymbolWindow>& training,
                                  MuterConfig config)
     : config_(config) {
-  CANIDS_EXPECTS(training.size() >= 2);
+  CANIDS_EXPECTS_MSG(training.size() >= 2,
+                     "MuterEntropyIds needs at least 2 training windows to "
+                     "learn an entropy band, got " +
+                         std::to_string(training.size()) +
+                         " — record more clean traffic before training");
   CANIDS_EXPECTS(config_.alpha > 0.0);
+  CANIDS_EXPECTS(config_.min_threshold >= 0.0);
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    const SymbolWindow& w = training[i];
+    CANIDS_EXPECTS_MSG(w.frames > 0,
+                       "degenerate training window " + std::to_string(i) +
+                           " has zero frames — empty windows carry no "
+                           "entropy measurement");
+    CANIDS_EXPECTS_MSG(
+        std::isfinite(w.entropy) && w.entropy >= 0.0,
+        "degenerate training window " + std::to_string(i) +
+            " has invalid entropy " + std::to_string(w.entropy));
+  }
   double sum = 0.0;
   double lo = training.front().entropy;
   double hi = training.front().entropy;

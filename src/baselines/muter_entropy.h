@@ -42,12 +42,11 @@ class SymbolEntropyAccumulator {
   [[nodiscard]] std::size_t state_bytes() const noexcept;
 
  private:
-  [[nodiscard]] SymbolWindow snapshot(util::TimeNs end) const;
+  [[nodiscard]] SymbolWindow snapshot(util::TimeNs start,
+                                      util::TimeNs end) const;
 
-  util::TimeNs window_;
-  util::TimeNs window_start_ = 0;
+  util::WindowClock clock_;
   util::TimeNs last_timestamp_ = 0;
-  bool started_ = false;
   std::uint64_t total_ = 0;
   std::unordered_map<std::uint32_t, std::uint64_t> counts_;
 };

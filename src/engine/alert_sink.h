@@ -9,15 +9,16 @@
 #include <string>
 #include <vector>
 
-#include "ids/pipeline.h"
+#include "analysis/detector_backend.h"
 
 namespace canids::engine {
 
 /// One alerting window attributed to the stream (vehicle/channel) it came
-/// from.
+/// from. The verdict is backend-agnostic: any registered detector's alerts
+/// flow through the same sink.
 struct FleetAlert {
   std::string stream;
-  ids::WindowReport report;
+  analysis::WindowVerdict verdict;
 };
 
 /// Mutex-guarded alert store shared by all shard workers. Without a

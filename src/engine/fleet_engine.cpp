@@ -6,28 +6,29 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/backends.h"
 #include "util/contracts.h"
 
 namespace canids::engine {
 
 /// All per-stream state lives here and is touched by exactly two threads:
-/// the producer (queue push side, `closed`) and the owning shard worker
-/// (queue pop side, pipeline, reports, `drained`).
+/// the producer (queue push side, `closed`, `parse_errors`) and the owning
+/// shard worker (queue pop side, backend, verdicts, `drained`).
 struct FleetEngine::StreamState {
-  StreamState(std::string key_in, int shard_in,
-              std::shared_ptr<const ids::GoldenTemplate> golden,
-              std::vector<std::uint32_t> id_pool, const FleetConfig& config)
+  StreamState(std::string key_in, int shard_in, std::size_t queue_capacity,
+              std::unique_ptr<analysis::DetectorBackend> backend_in)
       : key(std::move(key_in)),
         shard(shard_in),
-        queue(config.queue_capacity),
-        pipeline(std::move(golden), std::move(id_pool), config.pipeline) {}
+        queue(queue_capacity),
+        backend(std::move(backend_in)) {}
 
   std::string key;
   int shard;
   SpscQueue<FrameItem> queue;
   std::atomic<bool> closed{false};
-  ids::IdsPipeline pipeline;
-  std::vector<ids::WindowReport> reports;
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::unique_ptr<analysis::DetectorBackend> backend;
+  std::vector<analysis::WindowVerdict> verdicts;
   bool drained = false;  ///< worker-local: final window flushed
 };
 
@@ -48,6 +49,10 @@ void FleetEngine::Stream::push_batch(const FrameItem* items,
   }
 }
 
+void FleetEngine::Stream::record_parse_error() {
+  state_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FleetEngine::Stream::close() {
   state_->closed.store(true, std::memory_order_release);
 }
@@ -56,10 +61,10 @@ const std::string& FleetEngine::Stream::key() const noexcept {
   return state_->key;
 }
 
-FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
+FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
                          FleetConfig config)
-    : golden_(std::move(golden)), config_(config) {
-  CANIDS_EXPECTS(golden_ != nullptr);
+    : prototype_(std::move(prototype)), config_(config) {
+  CANIDS_EXPECTS(prototype_ != nullptr);
   CANIDS_EXPECTS(config_.shards >= 0);
   CANIDS_EXPECTS(config_.queue_capacity > 0);
   CANIDS_EXPECTS(config_.drain_batch > 0);
@@ -70,6 +75,17 @@ FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
                 std::max(1u, std::thread::hardware_concurrency()));
   shards_.resize(static_cast<std::size_t>(shard_count_));
 }
+
+FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
+                         FleetConfig config)
+    : FleetEngine(
+          [&]() -> std::unique_ptr<analysis::DetectorBackend> {
+            CANIDS_EXPECTS(golden != nullptr);
+            return std::make_unique<analysis::BitEntropyBackend>(
+                std::move(golden), std::vector<std::uint32_t>{},
+                config.pipeline);
+          }(),
+          config) {}
 
 FleetEngine::~FleetEngine() {
   if (started_ && !finished_) {
@@ -91,7 +107,8 @@ FleetEngine::Stream FleetEngine::open_stream(
   CANIDS_EXPECTS(!key.empty());
   const int shard = shard_of(key);
   streams_.push_back(std::make_unique<StreamState>(
-      std::move(key), shard, golden_, std::move(id_pool), config_));
+      std::move(key), shard, config_.queue_capacity,
+      prototype_->clone_for_stream(std::move(id_pool))));
   StreamState* state = streams_.back().get();
   shards_[static_cast<std::size_t>(shard)].streams.push_back(state);
   return Stream(state);
@@ -105,11 +122,11 @@ void FleetEngine::start() {
   }
 }
 
-void FleetEngine::handle_report(StreamState& stream,
-                                ids::WindowReport report) {
-  const bool alert = report.detection.alert;
-  if (config_.collect_reports) stream.reports.push_back(report);
-  if (alert) alerts_.publish(FleetAlert{stream.key, std::move(report)});
+void FleetEngine::handle_verdict(StreamState& stream,
+                                 analysis::WindowVerdict verdict) {
+  const bool alert = verdict.alert;
+  if (config_.collect_verdicts) stream.verdicts.push_back(verdict);
+  if (alert) alerts_.publish(FleetAlert{stream.key, std::move(verdict)});
 }
 
 void FleetEngine::worker_loop(Shard& shard) {
@@ -118,8 +135,8 @@ void FleetEngine::worker_loop(Shard& shard) {
 
   auto feed = [&](StreamState& stream) {
     for (const FrameItem& item : batch) {
-      if (auto report = stream.pipeline.on_frame(item.timestamp, item.id)) {
-        handle_report(stream, std::move(*report));
+      if (auto verdict = stream.backend->on_frame(item.timestamp, item.id)) {
+        handle_verdict(stream, std::move(*verdict));
       }
     }
   };
@@ -143,8 +160,8 @@ void FleetEngine::worker_loop(Shard& shard) {
         progressed = true;
         continue;
       }
-      if (auto report = stream->pipeline.finish()) {
-        handle_report(*stream, std::move(*report));
+      if (auto verdict = stream->backend->finish()) {
+        handle_verdict(*stream, std::move(*verdict));
       }
       stream->drained = true;
       --remaining;
@@ -169,8 +186,10 @@ std::vector<StreamResult> FleetEngine::finish() {
     StreamResult result;
     result.key = state->key;
     result.shard = state->shard;
-    result.counters = state->pipeline.counters();
-    result.reports = std::move(state->reports);
+    result.counters = state->backend->counters();
+    result.counters.parse_errors +=
+        state->parse_errors.load(std::memory_order_relaxed);
+    result.verdicts = std::move(state->verdicts);
     totals_ += result.counters;
     results.push_back(std::move(result));
   }
@@ -201,19 +220,30 @@ FleetRunResult run_fleet(FleetEngine& engine,
       FleetEngine::Stream stream = streams[i];
       std::vector<FleetEngine::FrameItem> batch;
       batch.reserve(kIngestBatch);
-      try {
-        trace::TraceSource& source = *sources[i].source;
-        while (auto frame = source.next()) {
-          batch.push_back(
-              FleetEngine::FrameItem{frame->timestamp, frame->frame.id()});
-          if (batch.size() == kIngestBatch) {
-            stream.push_batch(batch.data(), batch.size());
-            batch.clear();
-          }
+      trace::TraceSource& source = *sources[i].source;
+      for (;;) {
+        std::optional<can::TimedFrame> frame;
+        try {
+          frame = source.next();
+        } catch (const trace::ParseError&) {
+          // A malformed line: the parsers have already consumed it, so the
+          // stream recovers on the next call. Count it and keep going.
+          stream.record_parse_error();
+          continue;
+        } catch (const std::exception& e) {
+          // Anything else (I/O failure, truncated container) is fatal for
+          // this stream; frames pushed so far are kept.
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          result.errors.emplace_back(stream.key(), e.what());
+          break;
         }
-      } catch (const std::exception& e) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        result.errors.emplace_back(stream.key(), e.what());
+        if (!frame) break;
+        batch.push_back(
+            FleetEngine::FrameItem{frame->timestamp, frame->frame.id()});
+        if (batch.size() == kIngestBatch) {
+          stream.push_batch(batch.data(), batch.size());
+          batch.clear();
+        }
       }
       if (!batch.empty()) stream.push_batch(batch.data(), batch.size());
       batch.clear();

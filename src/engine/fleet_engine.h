@@ -1,19 +1,22 @@
-// The sharded multi-vehicle fleet engine. The paper's detector needs only
-// 11 bit counters and a shared golden template per stream, which makes it
-// unusually cheap to replicate: this engine runs one IdsPipeline per
-// vehicle/channel stream, routes frames to a fixed worker shard by stream
-// key, and aggregates counters and alerts fleet-wide.
+// The sharded multi-vehicle fleet engine, generic over detector backends.
+// The engine is built from a prototype analysis::DetectorBackend; every
+// vehicle/channel stream gets its own instance stamped out with
+// clone_for_stream(), so immutable trained state (golden template, learned
+// entropy band, learned periods) is shared while runtime state stays
+// per-stream:
 //
 //   producers (trace files, taps)          shard workers
 //   ───────────────────────────           ───────────────
-//   Stream::push ──► SpscQueue ──► worker: per-stream IdsPipeline ──► AlertSink
+//   Stream::push ──► SpscQueue ──► worker: per-stream DetectorBackend ──► AlertSink
 //                                   (one shard owns a stream outright, so
 //                                    per-stream frame order — and therefore
-//                                    every WindowReport — is identical to a
+//                                    every WindowVerdict — is identical to a
 //                                    sequential run)
 //
-// All streams share one immutable GoldenTemplate through
-// shared_ptr<const GoldenTemplate>; per-stream state stays O(1).
+// The paper's bit-entropy detector stays the cheapest replicable backend
+// (11 counters + one shared template per stream) and remains the default,
+// but any registered detector — symbol-entropy, interval, ensemble — now
+// routes through the same engine.
 #pragma once
 
 #include <atomic>
@@ -24,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/detector_backend.h"
 #include "engine/alert_sink.h"
 #include "engine/spsc_queue.h"
 #include "ids/pipeline.h"
@@ -40,11 +44,13 @@ struct FleetConfig {
   /// Max frames a worker drains from one stream before rotating to its
   /// next stream (fairness bound under load).
   std::size_t drain_batch = 256;
-  /// IDS configuration applied to every stream's pipeline.
+  /// IDS configuration applied by the golden-template convenience
+  /// constructor (ignored when a prototype backend is supplied — the
+  /// prototype already carries its configuration).
   ids::PipelineConfig pipeline;
-  /// Retain every WindowReport per stream (memory grows with window count;
+  /// Retain every WindowVerdict per stream (memory grows with window count;
   /// meant for the determinism tests and small fleets, not production).
-  bool collect_reports = false;
+  bool collect_verdicts = false;
 };
 
 /// Final per-stream accounting returned by FleetEngine::finish.
@@ -52,8 +58,8 @@ struct StreamResult {
   std::string key;
   int shard = 0;
   ids::PipelineCounters counters;
-  /// Every closed window in stream order; only when config.collect_reports.
-  std::vector<ids::WindowReport> reports;
+  /// Every closed window in stream order; only when config.collect_verdicts.
+  std::vector<analysis::WindowVerdict> verdicts;
 };
 
 class FleetEngine {
@@ -76,6 +82,9 @@ class FleetEngine {
     /// Enqueue a batch with a single queue publish — the high-throughput
     /// ingest path (run_fleet uses it). Yields while full.
     void push_batch(const FrameItem* items, std::size_t count);
+    /// Record one malformed capture line skipped at ingest; surfaced in
+    /// the stream's counters after finish().
+    void record_parse_error();
     /// Mark end-of-stream; the shard then flushes the final window.
     void close();
     [[nodiscard]] const std::string& key() const noexcept;
@@ -86,6 +95,13 @@ class FleetEngine {
     StreamState* state_;
   };
 
+  /// Primary constructor: any registered detector backend; per-stream
+  /// instances are stamped out with prototype->clone_for_stream().
+  FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
+              FleetConfig config = {});
+
+  /// Convenience: the paper's bit-entropy detector against a shared golden
+  /// template, configured by config.pipeline — the pre-redesign signature.
   explicit FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
                        FleetConfig config = {});
   ~FleetEngine();
@@ -93,8 +109,10 @@ class FleetEngine {
   FleetEngine(const FleetEngine&) = delete;
   FleetEngine& operator=(const FleetEngine&) = delete;
 
-  /// Register a stream (before start()). A non-empty `id_pool` enables
-  /// malicious-ID inference on the stream's alerting windows.
+  /// Register a stream (before start()). A non-empty `id_pool` overrides
+  /// the prototype's legal-ID set for this stream, enabling malicious-ID
+  /// inference on backends that support it; an empty pool keeps whatever
+  /// the prototype was built with (see DetectorBackend::clone_for_stream).
   Stream open_stream(std::string key,
                      std::vector<std::uint32_t> id_pool = {});
 
@@ -112,6 +130,10 @@ class FleetEngine {
   [[nodiscard]] std::size_t stream_count() const noexcept {
     return streams_.size();
   }
+  /// The prototype backend streams are cloned from.
+  [[nodiscard]] const analysis::DetectorBackend& detector() const noexcept {
+    return *prototype_;
+  }
   [[nodiscard]] AlertSink& alerts() noexcept { return alerts_; }
   /// Aggregate counters over all streams; valid after finish().
   [[nodiscard]] const ids::PipelineCounters& totals() const noexcept {
@@ -126,9 +148,9 @@ class FleetEngine {
   };
 
   void worker_loop(Shard& shard);
-  void handle_report(StreamState& stream, ids::WindowReport report);
+  void handle_verdict(StreamState& stream, analysis::WindowVerdict verdict);
 
-  std::shared_ptr<const ids::GoldenTemplate> golden_;
+  std::unique_ptr<analysis::DetectorBackend> prototype_;
   FleetConfig config_;
   int shard_count_;
   std::vector<std::unique_ptr<StreamState>> streams_;
@@ -150,8 +172,10 @@ struct NamedSource {
 
 struct FleetRunResult {
   std::vector<StreamResult> streams;
-  /// Ingest failures as (stream key, error message); the stream keeps the
-  /// frames that arrived before the failure.
+  /// Fatal ingest failures as (stream key, error message); the stream
+  /// keeps the frames that arrived before the failure. Per-line parse
+  /// errors are NOT fatal — they are counted in the stream's
+  /// counters.parse_errors and ingest continues on the next line.
   std::vector<std::pair<std::string, std::string>> errors;
 };
 

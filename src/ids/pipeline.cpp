@@ -47,6 +47,13 @@ std::optional<WindowReport> IdsPipeline::on_frame(util::TimeNs timestamp,
   return std::nullopt;
 }
 
+std::optional<WindowReport> IdsPipeline::on_gap(util::TimeNs timestamp) {
+  if (auto snapshot = accumulator_.advance(timestamp)) {
+    return judge(std::move(*snapshot));
+  }
+  return std::nullopt;
+}
+
 std::optional<WindowReport> IdsPipeline::finish() {
   if (auto snapshot = accumulator_.flush()) {
     return judge(std::move(*snapshot));

@@ -38,12 +38,20 @@ struct PipelineCounters {
   std::uint64_t windows_closed = 0;
   std::uint64_t windows_evaluated = 0;
   std::uint64_t alerts = 0;
+  /// Malformed capture lines skipped at ingest (candump/vspy parsers).
+  /// Counted by the ingest layer (run_fleet, CLI), not the pipeline itself.
+  std::uint64_t parse_errors = 0;
+  /// Frames a detector backend could not judge and skipped (e.g. extended
+  /// 29-bit IDs against an 11-bit golden template). Subset of `frames`.
+  std::uint64_t dropped_frames = 0;
 
   PipelineCounters& operator+=(const PipelineCounters& other) noexcept {
     frames += other.frames;
     windows_closed += other.windows_closed;
     windows_evaluated += other.windows_evaluated;
     alerts += other.alerts;
+    parse_errors += other.parse_errors;
+    dropped_frames += other.dropped_frames;
     return *this;
   }
 
@@ -68,6 +76,12 @@ class IdsPipeline {
   /// any (alerting or not; check report.detection.alert).
   std::optional<WindowReport> on_frame(util::TimeNs timestamp,
                                        const can::CanId& id);
+
+  /// Advance the window clock for a frame the caller skips (e.g. an
+  /// identifier whose width the template cannot represent): the frame is
+  /// not counted, but its timestamp may still close the current window —
+  /// keeping boundaries aligned with detectors that consume every frame.
+  std::optional<WindowReport> on_gap(util::TimeNs timestamp);
 
   /// Close and judge the partially-filled final window.
   std::optional<WindowReport> finish();

@@ -4,7 +4,8 @@
 
 namespace canids::ids {
 
-WindowAccumulator::WindowAccumulator(WindowConfig config) : config_(config) {
+WindowAccumulator::WindowAccumulator(WindowConfig config)
+    : config_(config), clock_(config.duration) {
   if (config_.mode == WindowConfig::Mode::kByTime) {
     CANIDS_EXPECTS(config_.duration > 0);
   } else {
@@ -12,9 +13,10 @@ WindowAccumulator::WindowAccumulator(WindowConfig config) : config_(config) {
   }
 }
 
-WindowSnapshot WindowAccumulator::snapshot(util::TimeNs end) const {
+WindowSnapshot WindowAccumulator::snapshot(util::TimeNs start,
+                                           util::TimeNs end) const {
   WindowSnapshot snap;
-  snap.start = window_start_;
+  snap.start = start;
   snap.end = end;
   snap.frames = counters_.total();
   if (counters_.total() > 0) {
@@ -33,30 +35,16 @@ std::optional<WindowSnapshot> WindowAccumulator::add(util::TimeNs timestamp,
                                                      const can::CanId& id) {
   std::optional<WindowSnapshot> emitted;
 
-  if (!started_) {
-    started_ = true;
-    window_start_ = timestamp;
-  }
-
   if (config_.mode == WindowConfig::Mode::kByTime) {
-    if (timestamp >= window_start_ + config_.duration) {
-      if (counters_.total() > 0) {
-        emitted = snapshot(window_start_ + config_.duration);
-      }
-      counters_.reset();
-      // Advance the window origin to the boundary that contains this frame,
-      // skipping over silent windows entirely.
-      const auto gap = timestamp - window_start_;
-      const auto periods = gap / config_.duration;
-      window_start_ += periods * config_.duration;
-    }
+    emitted = advance(timestamp);
     counters_.add(id.raw());
   } else {
+    if (!clock_.started()) clock_.restart(timestamp);
     counters_.add(id.raw());
     if (counters_.total() >= config_.frame_count) {
-      emitted = snapshot(timestamp);
+      emitted = snapshot(clock_.start(), timestamp);
       counters_.reset();
-      window_start_ = timestamp;
+      clock_.restart(timestamp);
     }
   }
 
@@ -64,11 +52,29 @@ std::optional<WindowSnapshot> WindowAccumulator::add(util::TimeNs timestamp,
   return emitted;
 }
 
+std::optional<WindowSnapshot> WindowAccumulator::advance(
+    util::TimeNs timestamp) {
+  if (config_.mode != WindowConfig::Mode::kByTime) {
+    if (!clock_.started()) clock_.restart(timestamp);
+    last_timestamp_ = timestamp;
+    return std::nullopt;
+  }
+  std::optional<WindowSnapshot> emitted;
+  if (const auto end = clock_.advance(timestamp)) {
+    if (counters_.total() > 0) {
+      emitted = snapshot(*end - config_.duration, *end);
+    }
+    counters_.reset();
+  }
+  last_timestamp_ = timestamp;
+  return emitted;
+}
+
 std::optional<WindowSnapshot> WindowAccumulator::flush() {
   if (counters_.total() == 0) return std::nullopt;
-  const WindowSnapshot snap = snapshot(last_timestamp_);
+  const WindowSnapshot snap = snapshot(clock_.start(), last_timestamp_);
   counters_.reset();
-  window_start_ = last_timestamp_;
+  clock_.restart(last_timestamp_);
   return snap;
 }
 

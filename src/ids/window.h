@@ -62,6 +62,14 @@ class WindowAccumulator {
   std::optional<WindowSnapshot> add(util::TimeNs timestamp,
                                     const can::CanId& id);
 
+  /// Advance the window clock without counting a frame — for frames the
+  /// caller must skip (e.g. width-mismatched identifiers) that still carry
+  /// time. Keeps this accumulator's window boundaries aligned with
+  /// detectors that do consume the skipped frame; may close a window
+  /// exactly like add(). Time-based mode only (count windows have no
+  /// clock to advance).
+  std::optional<WindowSnapshot> advance(util::TimeNs timestamp);
+
   /// Emit whatever has accumulated (e.g. at end of trace); empty -> nullopt.
   std::optional<WindowSnapshot> flush();
 
@@ -71,13 +79,13 @@ class WindowAccumulator {
   }
 
  private:
-  [[nodiscard]] WindowSnapshot snapshot(util::TimeNs end) const;
+  [[nodiscard]] WindowSnapshot snapshot(util::TimeNs start,
+                                        util::TimeNs end) const;
 
   WindowConfig config_;
   PairCounters counters_;
-  util::TimeNs window_start_ = 0;
+  util::WindowClock clock_;
   util::TimeNs last_timestamp_ = 0;
-  bool started_ = false;
 };
 
 /// Split a whole identifier stream into window snapshots in one call.

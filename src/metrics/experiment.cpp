@@ -185,6 +185,147 @@ TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
   return result;
 }
 
+std::shared_ptr<const baselines::MuterEntropyIds>
+ExperimentRunner::muter_model() {
+  if (muter_model_) return muter_model_;
+  // One accumulator across every behaviour's clean drive, mirroring the
+  // pre-redesign CMP8 calibration (seed salt 100 + behaviour index).
+  std::vector<baselines::SymbolWindow> training;
+  baselines::SymbolEntropyAccumulator accumulator(
+      config_.pipeline.window.duration);
+  for (std::uint64_t i = 0; i < trace::kAllBehaviors.size(); ++i) {
+    for (const trace::LogRecord& record : vehicle_.record_trace(
+             trace::kAllBehaviors[i], config_.baseline_training_per_behavior,
+             100 + i)) {
+      if (auto window =
+              accumulator.add(record.timestamp, record.frame.id().raw())) {
+        training.push_back(*window);
+      }
+    }
+  }
+  muter_model_ = std::make_shared<const baselines::MuterEntropyIds>(
+      training, config_.muter);
+  return muter_model_;
+}
+
+std::shared_ptr<const baselines::IntervalIds>
+ExperimentRunner::interval_model() {
+  if (interval_model_) return interval_model_;
+  // Seed salt 200 + behaviour index, mirroring the pre-redesign CMP11
+  // calibration.
+  baselines::IntervalIds model(config_.interval);
+  for (std::uint64_t i = 0; i < trace::kAllBehaviors.size(); ++i) {
+    for (const trace::LogRecord& record : vehicle_.record_trace(
+             trace::kAllBehaviors[i], config_.baseline_training_per_behavior,
+             200 + i)) {
+      model.train(record.timestamp, record.frame.id().raw());
+    }
+  }
+  model.finish_training();
+  interval_model_ =
+      std::make_shared<const baselines::IntervalIds>(std::move(model));
+  return interval_model_;
+}
+
+analysis::DetectorOptions ExperimentRunner::backend_options() {
+  analysis::DetectorOptions options;
+  options.pipeline = config_.pipeline;
+  options.golden = train_shared();
+  options.id_pool = vehicle_.id_pool();
+  options.muter = config_.muter;
+  options.interval = config_.interval;
+  options.muter_model = muter_model();
+  options.interval_model = interval_model();
+  return options;
+}
+
+std::unique_ptr<analysis::DetectorBackend> ExperimentRunner::make_backend(
+    std::string_view name) {
+  // Train only the models the named backend can use; unknown (custom)
+  // names get everything, since their factories may read any slice.
+  analysis::DetectorOptions options;
+  options.pipeline = config_.pipeline;
+  options.golden = train_shared();
+  options.id_pool = vehicle_.id_pool();
+  options.muter = config_.muter;
+  options.interval = config_.interval;
+  if (name == "symbol-entropy" || name == "ensemble") {
+    options.muter_model = muter_model();
+  }
+  if (name == "interval" || name == "ensemble") {
+    options.interval_model = interval_model();
+  }
+  if (name != "bit-entropy" && name != "symbol-entropy" &&
+      name != "interval" && name != "ensemble") {
+    options.muter_model = muter_model();
+    options.interval_model = interval_model();
+  }
+  return analysis::make_detector(name, options);
+}
+
+ComparisonTrial ExperimentRunner::run_comparison(std::string_view backend_name,
+                                                 attacks::BuiltAttack attack,
+                                                 double frequency_hz,
+                                                 std::uint64_t vehicle_seed) {
+  ComparisonTrial trial;
+  trial.backend = std::string(backend_name);
+  trial.kind = attack.kind;
+  trial.frequency_hz = frequency_hz;
+  trial.planned_ids = attack.planned_ids;
+
+  can::BusSimulator bus(config_.vehicle.bus);
+  vehicle_.attach_to(bus, trace::DrivingBehavior::kCity, vehicle_seed);
+  bus.add_node(std::move(attack.node));
+
+  const std::unique_ptr<analysis::DetectorBackend> backend =
+      make_backend(backend_name);
+
+  auto handle = [&](const analysis::WindowVerdict& verdict) {
+    if (verdict.alert && verdict.detail && !trial.planned_ids.empty()) {
+      trial.best_inference_hit = std::max(
+          trial.best_inference_hit,
+          ids::inference_hit_fraction(trial.planned_ids,
+                                      verdict.detail->ranked_candidates));
+    }
+  };
+  bus.add_listener([&](const can::TimedFrame& frame) {
+    if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
+      handle(*verdict);
+    }
+  });
+  bus.run_until(config_.comparison_duration);
+  if (auto verdict = backend->finish()) handle(*verdict);
+
+  trial.counters = backend->counters();
+  trial.windows = trial.counters.windows_closed;
+  trial.evaluated = trial.counters.windows_evaluated;
+  trial.alerts = trial.counters.alerts;
+  trial.state_bytes = backend->describe().state_bytes;
+  return trial;
+}
+
+ComparisonTrial ExperimentRunner::run_trial_with(
+    std::string_view backend, attacks::ScenarioKind kind, double frequency_hz,
+    std::uint64_t vehicle_seed, std::optional<std::uint64_t> attack_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  util::Rng rng(attack_seed.value_or(vehicle_seed));
+  return run_comparison(
+      backend, attacks::make_scenario(kind, vehicle_, attack_config, rng),
+      frequency_hz, vehicle_seed);
+}
+
+ComparisonTrial ExperimentRunner::run_single_id_trial_with(
+    std::string_view backend, std::uint32_t id, double frequency_hz,
+    std::uint64_t vehicle_seed, std::optional<std::uint64_t> attack_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  util::Rng rng(attack_seed.value_or(vehicle_seed));
+  return run_comparison(
+      backend, attacks::make_single_id_attack(attack_config, id, rng),
+      frequency_hz, vehicle_seed);
+}
+
 ScenarioSummary ExperimentRunner::run_scenario(
     attacks::ScenarioKind kind, const std::vector<double>& frequencies,
     int trials_per_frequency) {

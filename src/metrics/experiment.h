@@ -8,8 +8,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "analysis/registry.h"
 #include "attacks/scenario.h"
 #include "ids/pipeline.h"
 #include "metrics/confusion.h"
@@ -29,6 +32,16 @@ struct ExperimentConfig {
   util::TimeNs attack_duration = 20 * util::kSecond;
   /// Master seed; all per-trial randomness derives from it.
   std::uint64_t seed = 0x5EC0DE;
+
+  /// Baseline-detector knobs for the §V.E comparison trials
+  /// (run_trial_with). The models are trained lazily on clean traffic.
+  baselines::MuterConfig muter;
+  baselines::IntervalConfig interval;
+  /// Clean traffic recorded per driving behaviour when training a
+  /// baseline model.
+  util::TimeNs baseline_training_per_behavior = 6 * util::kSecond;
+  /// Bus time of one comparison trial (the CMP benches use 12 s drives).
+  util::TimeNs comparison_duration = 12 * util::kSecond;
 };
 
 /// Outcome of one attack trial.
@@ -52,6 +65,28 @@ struct TrialResult {
   double injection_rate_success = 0.0;      ///< transmitted / generated
   std::uint64_t injected_transmitted = 0;
   double bus_load = 0.0;
+};
+
+/// Outcome of one head-to-head comparison trial (§V.E): any registered
+/// detector backend over one attacked 12 s city drive. The same
+/// (vehicle_seed, attack_seed) pair replays the identical bus run, so two
+/// backends' ComparisonTrials are directly comparable — the methodology the
+/// CMP benches previously hand-rolled per baseline.
+struct ComparisonTrial {
+  std::string backend;
+  attacks::ScenarioKind kind{};
+  double frequency_hz = 0.0;
+  std::vector<std::uint32_t> planned_ids;
+
+  std::uint64_t windows = 0;    ///< closed windows (counters.windows_closed)
+  std::uint64_t evaluated = 0;  ///< judged windows
+  std::uint64_t alerts = 0;     ///< alerting windows
+  /// Best inference hit fraction over alerting windows (0 for backends
+  /// without malicious-ID inference).
+  double best_inference_hit = 0.0;
+  /// Live monitoring-state footprint after the run (the storage argument).
+  std::size_t state_bytes = 0;
+  ids::PipelineCounters counters;
 };
 
 /// Aggregate of several trials of the same scenario.
@@ -103,15 +138,59 @@ class ExperimentRunner {
       attacks::ScenarioKind kind, const std::vector<double>& frequencies,
       int trials_per_frequency);
 
+  // ---- unified detector-backend trials (§V.E comparisons) -----------------
+
+  /// Whole-distribution entropy baseline trained on clean traffic from
+  /// every driving behaviour (lazily built, then shared).
+  [[nodiscard]] std::shared_ptr<const baselines::MuterEntropyIds>
+  muter_model();
+
+  /// Interval baseline with frozen learned periods (lazily built, shared).
+  [[nodiscard]] std::shared_ptr<const baselines::IntervalIds>
+  interval_model();
+
+  /// DetectorOptions wired with this runner's golden template, the
+  /// vehicle's id pool, the pipeline config, and both pretrained baseline
+  /// models — make_detector(name, backend_options()) yields a ready
+  /// backend for any registered name.
+  [[nodiscard]] analysis::DetectorOptions backend_options();
+
+  /// Construct a registered backend from backend_options().
+  [[nodiscard]] std::unique_ptr<analysis::DetectorBackend> make_backend(
+      std::string_view name);
+
+  /// One comparison trial: `backend` over a city drive with the given
+  /// attack scenario injected for the whole run. `attack_seed` defaults to
+  /// `vehicle_seed`; passing the same pair to two backends replays the
+  /// identical traffic.
+  [[nodiscard]] ComparisonTrial run_trial_with(
+      std::string_view backend, attacks::ScenarioKind kind,
+      double frequency_hz, std::uint64_t vehicle_seed,
+      std::optional<std::uint64_t> attack_seed = std::nullopt);
+
+  /// Comparison trial with a caller-chosen injected identifier (the
+  /// unseen-ID blind-spot experiment).
+  [[nodiscard]] ComparisonTrial run_single_id_trial_with(
+      std::string_view backend, std::uint32_t id, double frequency_hz,
+      std::uint64_t vehicle_seed,
+      std::optional<std::uint64_t> attack_seed = std::nullopt);
+
  private:
   [[nodiscard]] TrialResult run_built_attack(attacks::BuiltAttack attack,
                                              double frequency_hz,
                                              std::uint64_t trial_seed);
 
+  [[nodiscard]] ComparisonTrial run_comparison(std::string_view backend,
+                                               attacks::BuiltAttack attack,
+                                               double frequency_hz,
+                                               std::uint64_t vehicle_seed);
+
   ExperimentConfig config_;
   trace::SyntheticVehicle vehicle_;
   std::shared_ptr<const ids::GoldenTemplate> golden_;
   std::vector<ids::WindowSnapshot> training_snapshots_;
+  std::shared_ptr<const baselines::MuterEntropyIds> muter_model_;
+  std::shared_ptr<const baselines::IntervalIds> interval_model_;
 };
 
 }  // namespace canids::metrics

@@ -20,6 +20,13 @@ namespace detail {
   throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
                           file + ":" + std::to_string(line));
 }
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& message) {
+  throw ContractViolation(std::string(kind) + " failed: `" + expr + "` at " +
+                          file + ":" + std::to_string(line) + ": " + message);
+}
 }  // namespace detail
 
 }  // namespace canids
@@ -29,6 +36,16 @@ namespace detail {
     if (!(cond))                                                          \
       ::canids::detail::contract_fail("precondition", #cond, __FILE__,    \
                                       __LINE__);                          \
+  } while (false)
+
+/// Like CANIDS_EXPECTS but with a caller-supplied explanation appended to
+/// the violation message — use where the bare expression would not tell
+/// the user what to fix (e.g. degenerate training input).
+#define CANIDS_EXPECTS_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::canids::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                      __LINE__, (msg));                   \
   } while (false)
 
 #define CANIDS_ENSURES(cond)                                              \

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 namespace canids::util {
 
@@ -30,5 +31,51 @@ inline constexpr TimeNs kSecond = 1'000'000'000;
 [[nodiscard]] constexpr double to_seconds(TimeNs t) noexcept {
   return static_cast<double>(t) / static_cast<double>(kSecond);
 }
+
+/// The one time-window alignment rule shared by every windowed detector
+/// (bit-entropy WindowAccumulator, symbol-entropy accumulator, interval
+/// backend): windows are anchored to the first observed timestamp, close
+/// when a timestamp reaches the boundary, and silent windows are skipped
+/// by advancing the origin to the period containing the new timestamp.
+/// Detectors sharing one duration therefore close windows on exactly the
+/// same frames — the invariant the ensemble detector composes on.
+class WindowClock {
+ public:
+  explicit constexpr WindowClock(TimeNs duration) noexcept
+      : duration_(duration) {}
+
+  /// Observe one timestamp. Returns the end of the window it closed, if
+  /// any; the closed window spans [*end - duration, *end).
+  constexpr std::optional<TimeNs> advance(TimeNs timestamp) noexcept {
+    if (!started_) {
+      started_ = true;
+      start_ = timestamp;
+      return std::nullopt;
+    }
+    if (timestamp < start_ + duration_) return std::nullopt;
+    const TimeNs end = start_ + duration_;
+    start_ += ((timestamp - start_) / duration_) * duration_;
+    return end;
+  }
+
+  /// Re-anchor the open window at `origin` (after a flush, or to lazily
+  /// start count-based windows that have no time boundary).
+  constexpr void restart(TimeNs origin) noexcept {
+    started_ = true;
+    start_ = origin;
+  }
+
+  [[nodiscard]] constexpr TimeNs duration() const noexcept {
+    return duration_;
+  }
+  /// Origin of the currently-open window (meaningful once started()).
+  [[nodiscard]] constexpr TimeNs start() const noexcept { return start_; }
+  [[nodiscard]] constexpr bool started() const noexcept { return started_; }
+
+ private:
+  TimeNs duration_;
+  TimeNs start_ = 0;
+  bool started_ = false;
+};
 
 }  // namespace canids::util

@@ -116,6 +116,38 @@ TEST(MuterEntropyIdsTest, RequiresTwoTrainingWindows) {
   EXPECT_THROW(MuterEntropyIds{one}, canids::ContractViolation);
 }
 
+TEST(MuterEntropyIdsTest, DegenerateTrainingFailsLoudly) {
+  // Too few windows: the message must say what is wrong and how to fix it.
+  try {
+    const std::vector<SymbolWindow> one(1);
+    (void)MuterEntropyIds(one);
+    FAIL() << "expected ContractViolation";
+  } catch (const canids::ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("at least 2 training windows"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("got 1"), std::string::npos) << message;
+  }
+
+  // A zero-frame window carries no measurement and must be rejected, not
+  // silently folded into the entropy band.
+  std::vector<SymbolWindow> windows = training_windows(0.02);
+  windows[7].frames = 0;
+  try {
+    (void)MuterEntropyIds(windows);
+    FAIL() << "expected ContractViolation";
+  } catch (const canids::ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("window 7"), std::string::npos) << message;
+    EXPECT_NE(message.find("zero frames"), std::string::npos) << message;
+  }
+
+  // Non-finite entropy (corrupt upstream accumulation) is caught too.
+  windows = training_windows(0.02);
+  windows[3].entropy = std::nan("");
+  EXPECT_THROW((void)MuterEntropyIds(windows), canids::ContractViolation);
+}
+
 TEST(MuterEntropyIdsTest, ThresholdUsesAlphaTimesRange) {
   std::vector<SymbolWindow> windows(3);
   windows[0].entropy = 5.0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/registry.h"
 #include "ids/bit_counters.h"
 #include "ids/golden_template.h"
 #include "trace/trace_source.h"
@@ -18,11 +19,9 @@ namespace {
 
 using ids::BitCounters;
 using ids::GoldenTemplate;
-using ids::IdsPipeline;
 using ids::PipelineConfig;
 using ids::TemplateBuilder;
 using ids::WindowConfig;
-using ids::WindowReport;
 using ids::WindowSnapshot;
 using util::kSecond;
 
@@ -93,23 +92,39 @@ struct FleetWorld {
     config.window.duration = kSecond;
     return config;
   }
+
+  /// DetectorOptions driving any registered backend over this world.
+  /// Baselines self-calibrate on each stream's first 3 windows.
+  [[nodiscard]] analysis::DetectorOptions backend_options() const {
+    analysis::DetectorOptions options;
+    options.golden = golden;
+    options.pipeline = pipeline_config();
+    options.calibration_windows = 3;
+    return options;
+  }
 };
 
-/// Sequential reference: one IdsPipeline over the same frames.
-[[nodiscard]] std::vector<WindowReport> sequential_reports(
-    const FleetWorld& world, const std::vector<can::TimedFrame>& frames) {
-  IdsPipeline pipeline(world.golden, world.pool, world.pipeline_config());
-  std::vector<WindowReport> reports;
+/// Sequential reference: one cloned backend over the same frames.
+[[nodiscard]] std::vector<analysis::WindowVerdict> sequential_verdicts(
+    const analysis::DetectorBackend& prototype,
+    const std::vector<std::uint32_t>& pool,
+    const std::vector<can::TimedFrame>& frames) {
+  const std::unique_ptr<analysis::DetectorBackend> backend =
+      prototype.clone_for_stream(pool);
+  std::vector<analysis::WindowVerdict> verdicts;
   for (const can::TimedFrame& frame : frames) {
-    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
-      reports.push_back(std::move(*report));
+    if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
+      verdicts.push_back(std::move(*verdict));
     }
   }
-  if (auto report = pipeline.finish()) reports.push_back(std::move(*report));
-  return reports;
+  if (auto verdict = backend->finish()) verdicts.push_back(std::move(*verdict));
+  return verdicts;
 }
 
-TEST(FleetEngineTest, ShardedRunMatchesSequentialByteForByte) {
+/// The acceptance bar for every registered backend: a sharded fleet run
+/// produces byte-identical per-stream verdicts to a sequential run,
+/// whatever the shard count.
+TEST(FleetEngineTest, ShardedRunMatchesSequentialForEveryRegisteredBackend) {
   const FleetWorld world;
   std::map<std::string, std::vector<can::TimedFrame>> traces;
   traces["car-00"] = world.make_trace(1, 6);
@@ -117,30 +132,38 @@ TEST(FleetEngineTest, ShardedRunMatchesSequentialByteForByte) {
   traces["car-02"] = world.make_trace(3, 6);
   traces["car-03"] = world.make_trace(4, 6, {1});
 
-  for (const int shards : {1, 3, 8}) {
-    FleetConfig config;
-    config.shards = shards;
-    config.queue_capacity = 256;  // small queues: exercise backpressure
-    config.pipeline = world.pipeline_config();
-    config.collect_reports = true;
+  for (const std::string& name :
+       analysis::DetectorRegistry::instance().names()) {
+    const std::unique_ptr<analysis::DetectorBackend> reference =
+        analysis::make_detector(name, world.backend_options());
 
-    FleetEngine engine(world.golden, config);
-    std::vector<NamedSource> sources;
-    for (const auto& [key, frames] : traces) {
-      sources.push_back(NamedSource{
-          key, std::make_unique<trace::MemorySource>(frames), world.pool});
-    }
-    FleetRunResult run = run_fleet(engine, std::move(sources));
-    ASSERT_TRUE(run.errors.empty());
-    ASSERT_EQ(run.streams.size(), traces.size());
+    for (const int shards : {1, 3, 8}) {
+      FleetConfig config;
+      config.shards = shards;
+      config.queue_capacity = 256;  // small queues: exercise backpressure
+      config.collect_verdicts = true;
 
-    for (const StreamResult& stream : run.streams) {
-      const std::vector<WindowReport> expected =
-          sequential_reports(world, traces.at(stream.key));
-      EXPECT_EQ(stream.reports, expected)
-          << "stream " << stream.key << " diverged at " << shards
-          << " shards";
-      EXPECT_EQ(stream.counters.frames, traces.at(stream.key).size());
+      FleetEngine engine(
+          analysis::make_detector(name, world.backend_options()), config);
+      std::vector<NamedSource> sources;
+      for (const auto& [key, frames] : traces) {
+        sources.push_back(NamedSource{
+            key, std::make_unique<trace::MemorySource>(frames), world.pool});
+      }
+      FleetRunResult run = run_fleet(engine, std::move(sources));
+      ASSERT_TRUE(run.errors.empty());
+      ASSERT_EQ(run.streams.size(), traces.size());
+
+      for (const StreamResult& stream : run.streams) {
+        const std::vector<analysis::WindowVerdict> expected =
+            sequential_verdicts(*reference, world.pool,
+                                traces.at(stream.key));
+        EXPECT_EQ(stream.verdicts, expected)
+            << "backend " << name << ", stream " << stream.key
+            << " diverged at " << shards << " shards";
+        EXPECT_EQ(stream.counters.frames, traces.at(stream.key).size());
+        EXPECT_EQ(stream.counters.parse_errors, 0u);
+      }
     }
   }
 }
@@ -198,15 +221,20 @@ TEST(FleetEngineTest, AlertSinkSeesOnlyAttackedStreams) {
   std::size_t counted = 0;
   for (const FleetAlert& alert : alerts) {
     EXPECT_EQ(alert.stream, "attacked");
-    EXPECT_TRUE(alert.report.detection.alert);
+    EXPECT_TRUE(alert.verdict.alert);
+    ASSERT_TRUE(alert.verdict.detail.has_value());
     // Inference runs because the stream was opened with an id pool.
-    EXPECT_TRUE(alert.report.inference.has_value());
+    EXPECT_FALSE(alert.verdict.detail->ranked_candidates.empty());
     ++counted;
   }
   EXPECT_EQ(engine.alerts().count(), counted);
   for (const StreamResult& stream : run.streams) {
-    if (stream.key == "clean") EXPECT_EQ(stream.counters.alerts, 0u);
-    if (stream.key == "attacked") EXPECT_EQ(stream.counters.alerts, counted);
+    if (stream.key == "clean") {
+      EXPECT_EQ(stream.counters.alerts, 0u);
+    }
+    if (stream.key == "attacked") {
+      EXPECT_EQ(stream.counters.alerts, counted);
+    }
   }
 }
 
@@ -235,17 +263,19 @@ TEST(FleetEngineTest, StreamKeysRouteToStableShards) {
   }
 }
 
-TEST(FleetEngineTest, IngestErrorsAreReportedPerStream) {
+TEST(FleetEngineTest, FatalIngestErrorsAreReportedPerStream) {
   const FleetWorld world;
 
-  /// A source that yields a few frames, then fails like a corrupt log.
+  /// A source that yields a few frames, then fails hard (I/O error,
+  /// truncated container) — unlike a per-line ParseError, this ends the
+  /// stream.
   class FailingSource final : public trace::TraceSource {
    public:
     explicit FailingSource(std::vector<can::TimedFrame> frames)
         : frames_(std::move(frames)) {}
     std::optional<can::TimedFrame> next() override {
       if (index_ < frames_.size()) return frames_[index_++];
-      throw trace::ParseError("synthetic corruption", 123);
+      throw std::runtime_error("synthetic I/O failure");
     }
 
    private:
@@ -268,7 +298,7 @@ TEST(FleetEngineTest, IngestErrorsAreReportedPerStream) {
   FleetRunResult run = run_fleet(engine, std::move(sources));
   ASSERT_EQ(run.errors.size(), 1u);
   EXPECT_EQ(run.errors[0].first, "bad");
-  EXPECT_NE(run.errors[0].second.find("synthetic corruption"),
+  EXPECT_NE(run.errors[0].second.find("synthetic I/O failure"),
             std::string::npos);
   // Both streams still produce results; the bad one kept its pre-failure
   // frames.
@@ -276,6 +306,60 @@ TEST(FleetEngineTest, IngestErrorsAreReportedPerStream) {
   for (const StreamResult& stream : run.streams) {
     EXPECT_GT(stream.counters.frames, 0u) << stream.key;
   }
+}
+
+TEST(FleetEngineTest, ParseErrorsAreCountedAndIngestRecovers) {
+  const FleetWorld world;
+
+  /// Simulates a capture with malformed lines sprinkled between frames:
+  /// throws ParseError every `period`-th call, like a real parser that has
+  /// consumed the bad line and can continue.
+  class FlakySource final : public trace::TraceSource {
+   public:
+    FlakySource(std::vector<can::TimedFrame> frames, std::size_t period)
+        : frames_(std::move(frames)), period_(period) {}
+    std::optional<can::TimedFrame> next() override {
+      ++calls_;
+      if (calls_ % period_ == 0) {
+        throw trace::ParseError("bad line", calls_);
+      }
+      if (index_ < frames_.size()) return frames_[index_++];
+      return std::nullopt;
+    }
+
+   private:
+    std::vector<can::TimedFrame> frames_;
+    std::size_t period_;
+    std::size_t calls_ = 0;
+    std::size_t index_ = 0;
+  };
+
+  FleetConfig config;
+  config.shards = 2;
+  config.pipeline = world.pipeline_config();
+  FleetEngine engine(world.golden, config);
+
+  const std::vector<can::TimedFrame> frames = world.make_trace(41, 3);
+  std::vector<NamedSource> sources;
+  sources.push_back(NamedSource{
+      "flaky", std::make_unique<FlakySource>(frames, 100), {}});
+  sources.push_back(NamedSource{
+      "clean", std::make_unique<trace::MemorySource>(frames), {}});
+
+  FleetRunResult run = run_fleet(engine, std::move(sources));
+  ASSERT_TRUE(run.errors.empty())
+      << "per-line parse errors must not be fatal";
+  ASSERT_EQ(run.streams.size(), 2u);
+  for (const StreamResult& stream : run.streams) {
+    // Every real frame made it through, malformed lines or not.
+    EXPECT_EQ(stream.counters.frames, frames.size()) << stream.key;
+    if (stream.key == "flaky") {
+      EXPECT_GT(stream.counters.parse_errors, 0u);
+    } else {
+      EXPECT_EQ(stream.counters.parse_errors, 0u);
+    }
+  }
+  EXPECT_GT(engine.totals().parse_errors, 0u);
 }
 
 }  // namespace

@@ -2,20 +2,28 @@
 //
 //   canids info <capture>                      summarise a CAN log
 //   canids train <template-out> <clean>...     build a golden template
-//   canids detect <template> <capture>         run the IDS over a capture
-//       [--alpha A] [--window SECONDS] [--rank N] [--no-pairs]
+//   canids detectors                           list registered detector backends
+//   canids detect <template> <capture>         run an IDS over a capture
+//       [--detector NAME] [--alpha A] [--window SECONDS] [--rank N]
+//       [--no-pairs] [--calibrate N]
 //   canids fleet <template> <dir|capture>...   sharded multi-vehicle analysis
-//       [--shards N] [--producers N] [--alpha A] [--window S] [--no-pairs]
-//       [--quiet]
+//       [--detector NAME] [--shards N] [--producers N] [--alpha A]
+//       [--window S] [--no-pairs] [--calibrate N] [--quiet]
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
 //
 // Captures may be candump logs or Vehicle-Spy-style CSV (auto-detected).
-// `detect` and `fleet` exit 0 when the traffic is clean and 2 when
-// intrusions were flagged, so they can gate scripts. `fleet` streams every
-// capture (constant memory per stream) through one worker shard per core.
+// `detect` and `fleet` run any backend registered in the DetectorRegistry
+// (default: the paper's bit-entropy detector) through one code path; both
+// exit 0 when the traffic is clean and 2 when intrusions were flagged, so
+// they can gate scripts. Baseline detectors without a separate training
+// capture self-calibrate on the first windows of each stream. Malformed
+// capture lines are counted (and surfaced) instead of aborting the run;
+// unknown flags or detector names print usage / the registry listing and
+// exit 1.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/registry.h"
 #include "attacks/scenario.h"
 #include "engine/fleet_engine.h"
 #include "ids/pipeline.h"
@@ -37,18 +46,31 @@ using namespace canids;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+/// Thrown for malformed command lines; main() prints the message plus the
+/// usage text and exits 1 (the CLI-hardening contract: nothing the user
+/// types is silently ignored).
+struct UsageError {
+  std::string message;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage:\n"
                "  canids info <capture>\n"
                "  canids train <template-out> <clean-capture>...\n"
-               "  canids detect <template> <capture> [--alpha A] "
-               "[--window S] [--rank N] [--no-pairs]\n"
-               "  canids fleet <template> <dir-or-capture>... [--shards N] "
-               "[--producers N] [--alpha A] [--window S] [--no-pairs] "
-               "[--quiet]\n"
+               "  canids detectors\n"
+               "  canids detect <template> <capture> [--detector NAME] "
+               "[--alpha A] [--window S] [--rank N] [--no-pairs] "
+               "[--calibrate N]\n"
+               "  canids fleet <template> <dir-or-capture>... "
+               "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
+               "[--window S] [--no-pairs] [--calibrate N] [--quiet]\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
                "[--seed N] [--attack KIND] [--freq HZ]\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 64;  // EX_USAGE
 }
 
@@ -56,7 +78,14 @@ std::optional<double> arg_number(std::vector<std::string>& args,
                                  const std::string& flag) {
   for (std::size_t i = 0; i + 1 < args.size(); ++i) {
     if (args[i] == flag) {
-      const double value = std::stod(args[i + 1]);
+      double value = 0.0;
+      try {
+        std::size_t used = 0;
+        value = std::stod(args[i + 1], &used);
+        if (used != args[i + 1].size()) throw std::invalid_argument("trail");
+      } catch (const std::exception&) {
+        throw UsageError{"invalid value '" + args[i + 1] + "' for " + flag};
+      }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       return value;
@@ -78,11 +107,30 @@ std::optional<std::string> arg_string(std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// --calibrate parses as a double; the backends need a small positive
+/// integer, and a negative/fractional count would otherwise wrap through
+/// the size_t cast into a detector that never finishes calibrating.
+std::optional<std::size_t> arg_calibrate(std::vector<std::string>& args) {
+  const auto value = arg_number(args, "--calibrate");
+  if (!value) return std::nullopt;
+  if (*value < 2.0 || *value != std::floor(*value)) {
+    throw UsageError{"--calibrate expects an integer >= 2 (lead-in windows)"};
+  }
+  return static_cast<std::size_t>(*value);
+}
+
 bool arg_flag(std::vector<std::string>& args, const std::string& flag) {
   const auto it = std::find(args.begin(), args.end(), flag);
   if (it == args.end()) return false;
   args.erase(it);
   return true;
+}
+
+/// Every flag must have been consumed by now; anything left is a typo or
+/// an unsupported flag — reject loudly instead of ignoring it.
+void reject_leftovers(const std::vector<std::string>& args) {
+  if (args.empty()) return;
+  throw UsageError{"unknown or misplaced argument '" + args.front() + "'"};
 }
 
 int cmd_info(const std::string& path) {
@@ -132,6 +180,22 @@ int cmd_train(const std::string& out_path,
   return 0;
 }
 
+int cmd_detectors() {
+  util::Table table({"name", "paper source", "monitoring state",
+                     "malicious-ID inference"});
+  for (const analysis::DetectorInfo& info :
+       analysis::DetectorRegistry::instance().list()) {
+    table.add_row({info.name, info.paper, info.state_growth,
+                   info.supports_inference ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "select with `canids detect|fleet ... --detector NAME`; baselines "
+      "without a training capture self-calibrate on each stream's first "
+      "windows (--calibrate N, default 10).\n");
+  return 0;
+}
+
 /// Load a serialized golden template; nullptr (after an error message)
 /// when the file cannot be read.
 std::shared_ptr<const ids::GoldenTemplate> load_template(
@@ -147,71 +211,150 @@ std::shared_ptr<const ids::GoldenTemplate> load_template(
       ids::GoldenTemplate::deserialize(text));
 }
 
+/// Build a backend from the registry, translating an unknown name into the
+/// hardened exit path (registry listing + exit 1, via UsageError).
+std::unique_ptr<analysis::DetectorBackend> make_backend_or_usage(
+    const std::string& name, const analysis::DetectorOptions& options) {
+  try {
+    return analysis::make_detector(name, options);
+  } catch (const analysis::UnknownDetectorError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    cmd_detectors();
+    throw UsageError{"--detector expects a registered detector name"};
+  }
+}
+
+/// Print one alerting window, backend-agnostic: bits and candidate IDs
+/// when the detector can name them, voters for the ensemble, and the
+/// metric/threshold decision variable otherwise.
+void print_alert(const char* stream, const analysis::WindowVerdict& verdict) {
+  if (stream != nullptr) {
+    std::printf("[%s @ %9.3fs] INTRUSION", stream,
+                util::to_seconds(verdict.start));
+  } else {
+    std::printf("[%9.3fs] INTRUSION", util::to_seconds(verdict.start));
+  }
+  bool detailed = false;
+  if (verdict.detail) {
+    if (!verdict.detail->alerted_bits.empty()) {
+      std::printf("  bits:");
+      for (int bit : verdict.detail->alerted_bits) std::printf(" %d", bit + 1);
+      detailed = true;
+    }
+    if (!verdict.detail->ranked_candidates.empty()) {
+      std::printf("  candidates:");
+      for (std::uint32_t id : verdict.detail->ranked_candidates) {
+        std::printf(" %03X", id);
+      }
+      detailed = true;
+    }
+    if (!verdict.detail->voters.empty()) {
+      std::printf("  voters:");
+      for (const std::string& voter : verdict.detail->voters) {
+        std::printf(" %s", voter.c_str());
+      }
+      detailed = true;
+    }
+  }
+  if (!detailed) {
+    std::printf("  metric %.4f > threshold %.4f", verdict.metric,
+                verdict.threshold);
+  }
+  std::printf("\n");
+}
+
+/// Stream a capture into memory, tolerating malformed lines (counted, not
+/// fatal). Returns the frames plus the number of lines skipped.
+std::pair<std::vector<can::TimedFrame>, std::uint64_t> read_capture_lenient(
+    const std::filesystem::path& path) {
+  std::vector<can::TimedFrame> frames;
+  std::uint64_t parse_errors = 0;
+  const std::unique_ptr<trace::RecordSource> source =
+      trace::open_trace_source(path);
+  for (;;) {
+    try {
+      auto frame = source->next();
+      if (!frame) break;
+      frames.push_back(*frame);
+    } catch (const trace::ParseError& e) {
+      if (parse_errors == 0) {
+        std::fprintf(stderr, "warning: %s: %s (malformed lines are skipped)\n",
+                     path.string().c_str(), e.what());
+      }
+      ++parse_errors;
+    }
+  }
+  return {std::move(frames), parse_errors};
+}
+
 int cmd_detect(const std::string& template_path, const std::string& capture_path,
                std::vector<std::string> args) {
   const auto golden = load_template(template_path);
   if (!golden) return 66;
 
-  ids::PipelineConfig config;
+  analysis::DetectorOptions options;
+  options.golden = golden;
+  const std::string detector_name =
+      arg_string(args, "--detector").value_or("bit-entropy");
   if (const auto alpha = arg_number(args, "--alpha")) {
-    config.detector.alpha = *alpha;
+    options.pipeline.detector.alpha = *alpha;
+    options.muter.alpha = *alpha;
   }
   if (const auto window = arg_number(args, "--window")) {
-    config.window.duration = util::from_seconds(*window);
+    options.pipeline.window.duration = util::from_seconds(*window);
   }
   if (const auto rank = arg_number(args, "--rank")) {
-    config.inference.rank = static_cast<int>(*rank);
+    options.pipeline.inference.rank = static_cast<int>(*rank);
   }
-  if (arg_flag(args, "--no-pairs")) config.window.track_pairs = false;
-  if (!args.empty()) return usage();
+  if (const auto calibrate = arg_calibrate(args)) {
+    options.calibration_windows = *calibrate;
+  }
+  if (arg_flag(args, "--no-pairs")) options.pipeline.window.track_pairs = false;
+  reject_leftovers(args);
 
-  const trace::Trace capture = trace::load_trace_file(capture_path);
+  auto [frames, parse_errors] = read_capture_lenient(capture_path);
 
   // Inference pool: every standard ID in the capture (a vendor DBC would
   // be better; this is the conservative default).
   std::set<std::uint32_t> pool_set;
-  for (const trace::LogRecord& record : capture) {
-    if (!record.frame.id().is_extended()) {
-      pool_set.insert(record.frame.id().raw());
+  for (const can::TimedFrame& frame : frames) {
+    if (!frame.frame.id().is_extended()) {
+      pool_set.insert(frame.frame.id().raw());
     }
   }
-  const std::vector<std::uint32_t> pool(pool_set.begin(), pool_set.end());
-  if (pool.empty()) {
+  options.id_pool.assign(pool_set.begin(), pool_set.end());
+  if (options.id_pool.empty() && detector_name == "bit-entropy") {
     std::fprintf(stderr, "capture has no standard-ID frames\n");
     return 65;
   }
 
-  ids::IdsPipeline pipeline(golden, pool, config);
-  std::size_t alerts = 0;
-  auto report = [&](const ids::WindowReport& window_report) {
-    if (!window_report.detection.alert) return;
-    ++alerts;
-    std::printf("[%9.3fs] INTRUSION bits:",
-                util::to_seconds(window_report.snapshot.start));
-    for (int bit : window_report.detection.alerted_bits) {
-      std::printf(" %d", bit + 1);
-    }
-    if (window_report.inference) {
-      std::printf("  candidates:");
-      for (std::uint32_t id : window_report.inference->ranked_candidates) {
-        std::printf(" %03X", id);
-      }
-    }
-    std::printf("\n");
+  const std::unique_ptr<analysis::DetectorBackend> backend =
+      make_backend_or_usage(detector_name, options);
+
+  auto report = [&](const analysis::WindowVerdict& verdict) {
+    if (verdict.alert) print_alert(nullptr, verdict);
   };
-  for (const trace::LogRecord& record : capture) {
-    if (auto r = pipeline.on_frame(record.timestamp, record.frame.id())) {
-      report(*r);
+  for (const can::TimedFrame& frame : frames) {
+    if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
+      report(*verdict);
     }
   }
-  if (auto r = pipeline.finish()) report(*r);
+  if (auto verdict = backend->finish()) report(*verdict);
 
-  std::printf("%zu/%llu windows alerted (alpha=%.1f, window=%.2fs)\n", alerts,
-              static_cast<unsigned long long>(
-                  pipeline.counters().windows_closed),
-              config.detector.alpha,
-              util::to_seconds(config.window.duration));
-  return alerts > 0 ? 2 : 0;
+  const ids::PipelineCounters& counters = backend->counters();
+  std::printf(
+      "%llu/%llu windows alerted (detector=%s, %llu evaluated, window=%.2fs)\n",
+      static_cast<unsigned long long>(counters.alerts),
+      static_cast<unsigned long long>(counters.windows_closed),
+      detector_name.c_str(),
+      static_cast<unsigned long long>(counters.windows_evaluated),
+      util::to_seconds(options.pipeline.window.duration));
+  if (parse_errors > 0 || counters.dropped_frames > 0) {
+    std::printf("ingest: %llu malformed lines skipped, %llu frames dropped\n",
+                static_cast<unsigned long long>(parse_errors),
+                static_cast<unsigned long long>(counters.dropped_frames));
+  }
+  return counters.alerts > 0 ? 2 : 0;
 }
 
 /// Expand directory arguments into their capture files (sorted); plain
@@ -242,6 +385,10 @@ int cmd_fleet(const std::string& template_path,
   if (!golden) return 66;
 
   engine::FleetConfig config;
+  analysis::DetectorOptions options;
+  options.golden = golden;
+  const std::string detector_name =
+      arg_string(args, "--detector").value_or("bit-entropy");
   if (const auto shards = arg_number(args, "--shards")) {
     config.shards = static_cast<int>(*shards);
   }
@@ -250,14 +397,19 @@ int cmd_fleet(const std::string& template_path,
     producers = static_cast<int>(*value);
   }
   if (const auto alpha = arg_number(args, "--alpha")) {
-    config.pipeline.detector.alpha = *alpha;
+    options.pipeline.detector.alpha = *alpha;
+    options.muter.alpha = *alpha;
   }
   if (const auto window = arg_number(args, "--window")) {
-    config.pipeline.window.duration = util::from_seconds(*window);
+    options.pipeline.window.duration = util::from_seconds(*window);
   }
-  if (arg_flag(args, "--no-pairs")) config.pipeline.window.track_pairs = false;
+  if (const auto calibrate = arg_calibrate(args)) {
+    options.calibration_windows = *calibrate;
+  }
+  if (arg_flag(args, "--no-pairs")) options.pipeline.window.track_pairs = false;
   const bool quiet = arg_flag(args, "--quiet");
-  if (!args.empty()) return usage();
+  reject_leftovers(args);
+  config.pipeline = options.pipeline;
 
   const std::vector<std::filesystem::path> paths = collect_captures(inputs);
   if (paths.empty()) {
@@ -265,19 +417,15 @@ int cmd_fleet(const std::string& template_path,
     return 66;
   }
 
-  engine::FleetEngine fleet(golden, config);
+  engine::FleetEngine fleet(
+      make_backend_or_usage(detector_name, options), config);
   if (quiet) {
     // Streaming mode with a no-op handler: alerts are counted but never
     // retained, keeping long runs at constant memory.
     fleet.alerts().set_handler([](const engine::FleetAlert&) {});
   } else {
     fleet.alerts().set_handler([](const engine::FleetAlert& alert) {
-      std::printf("[%s @ %9.3fs] INTRUSION bits:", alert.stream.c_str(),
-                  util::to_seconds(alert.report.snapshot.start));
-      for (int bit : alert.report.detection.alerted_bits) {
-        std::printf(" %d", bit + 1);
-      }
-      std::printf("\n");
+      print_alert(alert.stream.c_str(), alert.verdict);
     });
   }
 
@@ -312,24 +460,32 @@ int cmd_fleet(const std::string& template_path,
     std::fprintf(stderr, "error: %s: %s\n", key.c_str(), message.c_str());
   }
 
-  util::Table table({"stream", "shard", "frames", "windows", "alerts"});
+  util::Table table({"stream", "shard", "frames", "windows", "alerts",
+                     "parse errs", "dropped"});
   for (const engine::StreamResult& stream : run.streams) {
     table.add_row({stream.key, std::to_string(stream.shard),
                    std::to_string(stream.counters.frames),
                    std::to_string(stream.counters.windows_closed),
-                   std::to_string(stream.counters.alerts)});
+                   std::to_string(stream.counters.alerts),
+                   std::to_string(stream.counters.parse_errors),
+                   std::to_string(stream.counters.dropped_frames)});
   }
   table.print(std::cout);
 
   const ids::PipelineCounters& totals = fleet.totals();
   std::printf(
-      "%zu streams on %d shards: %llu frames, %llu windows, %llu alerts "
-      "in %.2fs (%.0f frames/s)\n",
-      run.streams.size(), fleet.shards(),
+      "%zu streams on %d shards (detector=%s): %llu frames, %llu windows, "
+      "%llu alerts in %.2fs (%.0f frames/s)\n",
+      run.streams.size(), fleet.shards(), detector_name.c_str(),
       static_cast<unsigned long long>(totals.frames),
       static_cast<unsigned long long>(totals.windows_closed),
       static_cast<unsigned long long>(totals.alerts), elapsed,
       elapsed > 0 ? static_cast<double>(totals.frames) / elapsed : 0.0);
+  if (totals.parse_errors > 0 || totals.dropped_frames > 0) {
+    std::printf("ingest: %llu malformed lines skipped, %llu frames dropped\n",
+                static_cast<unsigned long long>(totals.parse_errors),
+                static_cast<unsigned long long>(totals.dropped_frames));
+  }
   if (!run.errors.empty()) return 65;
   return totals.alerts > 0 ? 2 : 0;
 }
@@ -342,7 +498,7 @@ int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
       arg_string(args, "--behavior").value_or("city");
   const std::optional<std::string> attack_name = arg_string(args, "--attack");
   const double frequency = arg_number(args, "--freq").value_or(100.0);
-  if (!args.empty()) return usage();
+  reject_leftovers(args);
 
   trace::DrivingBehavior behavior = trace::DrivingBehavior::kCity;
   bool found = false;
@@ -417,6 +573,12 @@ int main(int argc, char** argv) {
     if (command == "info" && args.size() == 1) {
       return cmd_info(args[0]);
     }
+    if (command == "detectors") {
+      if (!args.empty()) {
+        throw UsageError{"`canids detectors` takes no arguments"};
+      }
+      return cmd_detectors();
+    }
     if (command == "train" && args.size() >= 2) {
       return cmd_train(args[0], {args.begin() + 1, args.end()});
     }
@@ -445,6 +607,10 @@ int main(int argc, char** argv) {
       const std::string out = args[0];
       return cmd_simulate(out, {args.begin() + 1, args.end()});
     }
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.message.c_str());
+    print_usage(stderr);
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 65;  // EX_DATAERR
