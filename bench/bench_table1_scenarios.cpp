@@ -3,10 +3,19 @@
 // across the paper's injection frequencies {100, 50, 20, 10} Hz and prints
 // detection rate and inferring accuracy next to the paper's numbers.
 //
+// The sweep itself is four thin CampaignSpec wrappers over the campaign
+// subsystem (flooding gets its own spec because it uses the high aggregate
+// frequency grid, and the pair-mode extension gets its own pair of specs);
+// trial seeds and aggregation reproduce the historic run_scenario loops
+// exactly, so the numbers match the pre-campaign bench bit for bit — while
+// the trials now fan out over every core.
+//
 // Expected shape: flood ~100 % with no inference; detection rises with the
 // number of injected IDs while inferring accuracy falls; weak ≈ single.
 #include <iostream>
 
+#include "campaign/report.h"
+#include "campaign/runner.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
 
@@ -29,6 +38,54 @@ constexpr PaperRow kPaperRows[] = {
     {attacks::ScenarioKind::kWeak, "93%", "96.6%"},
 };
 
+/// One Table I sweep at the given pair-tracking mode: the non-flood
+/// scenarios on the paper's frequency grid plus flooding on the high
+/// aggregate grid, merged into one report's worth of trials.
+std::pair<campaign::CampaignReport, campaign::CampaignReport> run_sweeps(
+    bool track_pairs) {
+  campaign::CampaignSpec spec;
+  spec.name = track_pairs ? "table1-pairs" : "table1";
+  spec.detectors = {"bit-entropy"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle,
+                    attacks::ScenarioKind::kMulti2,
+                    attacks::ScenarioKind::kMulti3,
+                    attacks::ScenarioKind::kMulti4,
+                    attacks::ScenarioKind::kWeak};
+  spec.rates_hz = {100.0, 50.0, 20.0, 10.0};
+  spec.seeds = 2;
+  spec.experiment.training_windows = ids::kPaperTrainingWindows;
+  spec.experiment.attack_duration = 15 * util::kSecond;
+  spec.experiment.seed = 0x7AB1E1;
+  spec.experiment.pipeline.window.track_pairs = track_pairs;
+
+  // "Massive messages" define flooding: the same spec on the high
+  // aggregate frequency grid.
+  campaign::CampaignSpec flood = spec;
+  flood.name += "-flood";
+  flood.scenarios = {attacks::ScenarioKind::kFlood};
+  flood.rates_hz = {400.0, 300.0, 200.0, 100.0};
+
+  // Both sweeps share one ExperimentConfig, so train the golden template
+  // once per mode and hand the bundle to both runners (bit-entropy needs
+  // no baseline models).
+  metrics::ExperimentRunner master(spec.experiment);
+  metrics::SharedModels models;
+  models.golden = master.train_shared();
+  campaign::CampaignRunner scenario_runner(spec, models);
+  campaign::CampaignRunner flood_runner(flood, models);
+  return {scenario_runner.run(), flood_runner.run()};
+}
+
+/// Table I aggregates a scenario over its whole frequency grid.
+campaign::ScenarioRollup rollup_of(
+    const std::pair<campaign::CampaignReport, campaign::CampaignReport>&
+        sweeps,
+    attacks::ScenarioKind kind) {
+  const campaign::CampaignReport& report =
+      kind == attacks::ScenarioKind::kFlood ? sweeps.second : sweeps.first;
+  return report.rollup("bit-entropy", kind);
+}
+
 }  // namespace
 
 int main() {
@@ -38,24 +95,8 @@ int main() {
   //  * "pair mode" — our documented extension adding the 55 pairwise
   //    co-occurrence counters (still O(1) in the ID count), which sharpens
   //    multi-ID inference considerably.
-  metrics::ExperimentConfig paper_config;
-  paper_config.training_windows = ids::kPaperTrainingWindows;
-  paper_config.attack_duration = 15 * util::kSecond;
-  paper_config.seed = 0x7AB1E1;
-  paper_config.pipeline.window.track_pairs = false;
-  metrics::ExperimentRunner paper_runner(paper_config);
-  (void)paper_runner.train();
-
-  metrics::ExperimentConfig pair_config = paper_config;
-  pair_config.pipeline.window.track_pairs = true;
-  metrics::ExperimentRunner pair_runner(pair_config);
-  (void)pair_runner.train();
-
-  // The paper's frequency grid; flooding uses a high aggregate rate since
-  // "massive messages" define that scenario.
-  const std::vector<double> frequencies = {100.0, 50.0, 20.0, 10.0};
-  const std::vector<double> flood_frequencies = {400.0, 300.0, 200.0, 100.0};
-  constexpr int kTrialsPerFrequency = 2;
+  const auto paper_sweeps = run_sweeps(/*track_pairs=*/false);
+  const auto pair_sweeps = run_sweeps(/*track_pairs=*/true);
 
   util::print_banner(std::cout,
                      "Table I — detection rate & inferring accuracy per "
@@ -65,15 +106,11 @@ int main() {
                      "Infer (paper)", "Infer (ours)", "Infer (ours+pairs)",
                      "FPR (ours)", "mean I_r"});
 
-  std::vector<metrics::ScenarioSummary> summaries;
+  std::vector<campaign::ScenarioRollup> summaries;
   for (const PaperRow& row : kPaperRows) {
-    const auto& freqs = row.kind == attacks::ScenarioKind::kFlood
-                            ? flood_frequencies
-                            : frequencies;
-    const metrics::ScenarioSummary summary =
-        paper_runner.run_scenario(row.kind, freqs, kTrialsPerFrequency);
-    const metrics::ScenarioSummary pair_summary =
-        pair_runner.run_scenario(row.kind, freqs, kTrialsPerFrequency);
+    const campaign::ScenarioRollup summary = rollup_of(paper_sweeps, row.kind);
+    const campaign::ScenarioRollup pair_summary =
+        rollup_of(pair_sweeps, row.kind);
     summaries.push_back(summary);
     table.add_row(
         {std::string(attacks::scenario_name(row.kind)), row.detection,

@@ -1,0 +1,69 @@
+// Example: programmatic evaluation campaigns.
+//
+// Builds a small CampaignSpec in code — two detectors over two scenarios
+// and a rate sweep — runs it on the worker pool, and shows the three ways
+// to consume the result: the aggregated cells (ROC/AUC + latency), the
+// per-trial rows, and the machine-readable artifacts on disk.
+//
+//   ./example_campaign_sweep [report-dir]
+#include <cstdio>
+#include <iostream>
+
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "util/table.h"
+
+using namespace canids;
+
+int main(int argc, char** argv) {
+  campaign::CampaignSpec spec;
+  spec.name = "example-sweep";
+  spec.detectors = {"bit-entropy", "interval"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle,
+                    attacks::ScenarioKind::kMulti3};
+  spec.rates_hz = {100.0, 50.0, 10.0};
+  spec.seeds = 2;
+  spec.experiment.training_windows = 15;  // keep the example quick
+  spec.experiment.clean_lead_in = 2 * util::kSecond;
+  spec.experiment.attack_duration = 8 * util::kSecond;
+
+  std::printf("spec (JSON form, also accepted by `canids campaign`):\n%s\n",
+              spec.to_json().c_str());
+
+  campaign::CampaignRunner runner(spec);
+  const campaign::CampaignReport report = runner.run();
+
+  // 1. Aggregated cells: one row per detector x scenario x rate.
+  util::Table cells({"detector", "scenario", "rate Hz", "Dr", "TPR", "FPR",
+                     "AUC", "latency s"});
+  for (const campaign::CampaignCell& cell : report.cells) {
+    cells.add_row({cell.detector,
+                   std::string(campaign::scenario_token(cell.kind)),
+                   util::Table::num(cell.frequency_hz, 0),
+                   util::Table::percent(cell.detection_rate),
+                   util::Table::percent(cell.tpr),
+                   util::Table::percent(cell.fpr),
+                   util::Table::num(cell.auc, 3),
+                   cell.mean_latency_seconds
+                       ? util::Table::num(*cell.mean_latency_seconds, 2)
+                       : std::string("--")});
+  }
+  cells.print(std::cout);
+
+  // 2. Individual trials, e.g. to study seed variance.
+  std::size_t detected = 0;
+  for (const metrics::InstrumentedTrial& trial : report.trials) {
+    if (trial.detection_latency()) ++detected;
+  }
+  std::printf("%zu/%zu trials detected their attack; %d workers, %.2fs\n",
+              detected, report.trials.size(), runner.stats().workers,
+              runner.stats().wall_seconds);
+
+  // 3. Machine-readable artifacts for notebooks and dashboards.
+  if (argc > 1) {
+    report.write_all(argv[1]);
+    std::printf("report -> %s/{trials.csv, cells.csv, roc.csv, report.json}\n",
+                argv[1]);
+  }
+  return 0;
+}

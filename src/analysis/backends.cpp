@@ -27,9 +27,16 @@ WindowVerdict BitEntropyBackend::verdict_of(const ids::WindowReport& report) {
   verdict.frames = report.snapshot.frames;
   verdict.evaluated = report.detection.evaluated;
   verdict.alert = report.detection.alert;
-  // Decision variable: the worst bit's deviation against its threshold.
+  // Decision variable: the bit whose deviation is worst *relative to its
+  // own threshold* — the native alert fires when any bit exceeds its
+  // threshold, so the max deviation/threshold ratio tops 1 exactly when
+  // the window alerts (a max-raw-deviation bit could sit inside a wide
+  // band while a quieter bit breaks a narrow one). Ratios are compared by
+  // cross-multiplication so zero thresholds order correctly.
   for (const ids::BitDeviation& bit : report.detection.bits) {
-    if (bit.deviation >= verdict.metric) {
+    const double lhs = bit.deviation * verdict.threshold;
+    const double rhs = verdict.metric * bit.threshold;
+    if (lhs > rhs || (lhs == rhs && bit.deviation > verdict.metric)) {
       verdict.metric = bit.deviation;
       verdict.threshold = bit.threshold;
     }

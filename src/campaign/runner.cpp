@@ -1,0 +1,143 @@
+#include "campaign/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analysis/registry.h"
+#include "ids/golden_template.h"
+
+namespace canids::campaign {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  for (const std::string& name : spec_.detectors) {
+    if (!analysis::DetectorRegistry::instance().contains(name)) {
+      throw analysis::UnknownDetectorError(
+          "campaign spec: unknown detector '" + name + "'");
+    }
+  }
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec,
+                               metrics::SharedModels pretrained)
+    : CampaignRunner(std::move(spec)) {
+  models_ = std::move(pretrained);
+}
+
+int CampaignRunner::resolve_workers(const CampaignSpec& spec,
+                                    std::size_t trials) {
+  int workers = spec.workers > 0
+                    ? spec.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > trials && trials > 0) {
+    workers = static_cast<int>(trials);
+  }
+  return workers;
+}
+
+void CampaignRunner::train_once() {
+  const auto started = std::chrono::steady_clock::now();
+  metrics::ExperimentRunner master(spec_.experiment);
+  // Pieces seeded through the pretrained-bundle constructor short-circuit
+  // their training below.
+  master.adopt_models(models_);
+
+  if (!spec_.template_path.empty()) {
+    std::ifstream in(spec_.template_path);
+    if (!in) {
+      throw std::runtime_error("campaign: cannot read template " +
+                               spec_.template_path);
+    }
+    metrics::SharedModels pretrained;
+    pretrained.golden = std::make_shared<const ids::GoldenTemplate>(
+        ids::GoldenTemplate::load(in));
+    master.adopt_models(pretrained);
+  }
+
+  // Train only what the requested backends can actually use (the same
+  // gating rule make_backend applies per trial).
+  bool need_muter = false;
+  bool need_interval = false;
+  for (const std::string& name : spec_.detectors) {
+    const metrics::ExperimentRunner::BackendModelNeeds needs =
+        metrics::ExperimentRunner::backend_model_needs(name);
+    need_muter = need_muter || needs.muter;
+    need_interval = need_interval || needs.interval;
+  }
+
+  models_.golden = master.train_shared();
+  models_.training_snapshots = master.training_snapshots();
+  if (need_muter) models_.muter = master.muter_model();
+  if (need_interval) models_.interval = master.interval_model();
+  stats_.train_seconds = elapsed_seconds(started);
+}
+
+CampaignReport CampaignRunner::run() {
+  const std::vector<TrialPlan> plan = spec_.plan();
+  std::call_once(trained_, [this] { train_once(); });
+
+  const auto started = std::chrono::steady_clock::now();
+  const int workers = resolve_workers(spec_, plan.size());
+
+  std::vector<metrics::InstrumentedTrial> results(plan.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker_loop = [&] {
+    // One runner per worker: its own vehicle and bus state, but the shared
+    // immutable model bundle — no training past the call_once above.
+    metrics::ExperimentRunner runner(spec_.experiment);
+    runner.adopt_models(models_);
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= plan.size()) return;
+      const TrialPlan& trial = plan[index];
+      try {
+        results[index] =
+            trial.sweep_id
+                ? runner.run_instrumented_single_id_trial(
+                      trial.detector, *trial.sweep_id, trial.frequency_hz,
+                      trial.trial_seed)
+                : runner.run_instrumented_trial(trial.detector, trial.kind,
+                                                trial.frequency_hz,
+                                                trial.trial_seed);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the queue so sibling workers stop picking up new trials.
+        next.store(plan.size());
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+  for (std::thread& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  stats_.trials = plan.size();
+  stats_.workers = workers;
+  stats_.wall_seconds = elapsed_seconds(started);
+  return make_report(spec_, std::move(results));
+}
+
+}  // namespace canids::campaign

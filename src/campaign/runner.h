@@ -1,0 +1,68 @@
+// Multithreaded campaign execution. The runner trains the shared models
+// exactly once (std::call_once), fans the spec's trial grid out over a
+// worker pool — each worker owns an ExperimentRunner that adopts the shared
+// bundle, so no worker ever re-trains — and aggregates the results in the
+// canonical plan order. Per-trial seeds are fixed by the plan, and every
+// trial writes into its own slot, so the report is byte-identical at any
+// worker count.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "campaign/report.h"
+#include "campaign/spec.h"
+#include "metrics/experiment.h"
+
+namespace canids::campaign {
+
+/// Wall-clock execution stats — reported separately from the CampaignReport
+/// on purpose: report artifacts must stay byte-identical across worker
+/// counts, and timing is exactly what varies.
+struct CampaignRunStats {
+  std::size_t trials = 0;
+  int workers = 0;
+  double train_seconds = 0.0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
+                              : 0.0;
+  }
+};
+
+class CampaignRunner {
+ public:
+  /// Throws std::invalid_argument when the spec is degenerate.
+  explicit CampaignRunner(CampaignSpec spec);
+
+  /// As above, but seed the shared bundle with pretrained pieces (e.g.
+  /// from a sibling campaign over the same ExperimentConfig). Absent
+  /// entries are still trained once on the first run(); present ones are
+  /// never re-trained.
+  CampaignRunner(CampaignSpec spec, metrics::SharedModels pretrained);
+
+  /// Execute the full grid and aggregate. Training happens once, on the
+  /// first call; later runs (e.g. a re-sweep with the same runner) reuse
+  /// the cached models. Worker exceptions propagate after the pool joins.
+  [[nodiscard]] CampaignReport run();
+
+  /// Stats of the most recent run().
+  [[nodiscard]] const CampaignRunStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+
+  /// Worker count a spec resolves to on this machine.
+  [[nodiscard]] static int resolve_workers(const CampaignSpec& spec,
+                                           std::size_t trials);
+
+ private:
+  void train_once();
+
+  CampaignSpec spec_;
+  std::once_flag trained_;
+  metrics::SharedModels models_;
+  CampaignRunStats stats_;
+};
+
+}  // namespace canids::campaign

@@ -1,0 +1,104 @@
+// Declarative evaluation campaigns: the full grid of detector backend ×
+// attack scenario (or single-ID sweep) × injection rate × seed that the
+// comparative CAN-IDS literature demands, described as one value. A spec
+// can be built in code, parsed from JSON (the CLI path), or taken from the
+// built-in smoke preset; CampaignRunner executes the grid and make_report
+// aggregates it. Per-trial seeds derive from the cell coordinates alone,
+// so a spec pins its results regardless of worker count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "metrics/experiment.h"
+
+namespace canids::campaign {
+
+/// JSON string escaping (quotes, backslashes, all control characters) used
+/// by the spec and report emitters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Short machine-readable scenario token used in specs and report columns
+/// ("flood", "single", "multi2", "multi3", "multi4", "weak") — the same
+/// vocabulary `canids simulate --attack` accepts.
+[[nodiscard]] std::string_view scenario_token(attacks::ScenarioKind kind);
+[[nodiscard]] std::optional<attacks::ScenarioKind> scenario_from_token(
+    std::string_view token);
+
+/// One planned trial: a fixed position in the campaign grid. The trial
+/// seed depends only on the cell coordinates, never on which worker runs
+/// it or when.
+struct TrialPlan {
+  std::size_t index = 0;  ///< position in the campaign's canonical order
+  std::string detector;
+  attacks::ScenarioKind kind{};
+  /// Set in single-ID sweep mode; the trial injects this identifier.
+  std::optional<std::uint32_t> sweep_id;
+  double frequency_hz = 0.0;
+  int seed_index = 0;
+  std::uint64_t trial_seed = 0;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+
+  /// Detector backends by registry name.
+  std::vector<std::string> detectors = {"bit-entropy"};
+  /// Attack scenarios (ignored when sweep_ids is non-empty).
+  std::vector<attacks::ScenarioKind> scenarios{attacks::kAllScenarios.begin(),
+                                               attacks::kAllScenarios.end()};
+  /// When non-empty, sweep single-ID injections over these identifiers
+  /// instead of the scenario taxonomy (the Fig. 3 axis).
+  std::vector<std::uint32_t> sweep_ids;
+  /// Injection-rate sweep (frames per second the attacker generates).
+  std::vector<double> rates_hz = {100.0, 50.0, 20.0, 10.0};
+  /// Trials per cell; per-trial seeds are derived deterministically.
+  int seeds = 2;
+
+  /// Base experiment: master seed, timings, vehicle and pipeline knobs.
+  metrics::ExperimentConfig experiment;
+
+  /// Optional pretrained golden template (cold start — the campaign loads
+  /// it instead of training in-process).
+  std::string template_path;
+
+  /// Detector-sensitivity multipliers swept for the ROC curve (windows are
+  /// re-judged at score >= scale). The native operating point is scale 1;
+  /// 0 alerts on every evaluated window.
+  std::vector<double> threshold_scales = default_threshold_scales();
+
+  /// Worker threads; 0 means hardware concurrency.
+  int workers = 0;
+
+  [[nodiscard]] static std::vector<double> default_threshold_scales();
+
+  /// Tiny preset sized for a CI smoke run (seconds, not minutes).
+  [[nodiscard]] static CampaignSpec smoke();
+
+  /// Parse a spec from its JSON form. Unknown keys and malformed values
+  /// throw std::invalid_argument — nothing in a spec file is silently
+  /// ignored.
+  [[nodiscard]] static CampaignSpec from_json(std::string_view text);
+
+  /// The spec as JSON (the exact form from_json accepts; also embedded in
+  /// every report so results stay self-describing).
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] std::size_t trial_count() const noexcept;
+
+  /// The full grid in canonical order: detector-major, then scenario (or
+  /// sweep ID), then rate, then seed. Trial seeds reproduce the historic
+  /// bench orderings: scenario cells use rate-major counters (the Table I
+  /// run_scenario order), sweep cells count per identifier (Fig. 3).
+  [[nodiscard]] std::vector<TrialPlan> plan() const;
+
+  /// Throws std::invalid_argument when the grid is degenerate (no
+  /// detectors, no scenarios/IDs, no rates, seeds < 1, ...).
+  void validate() const;
+};
+
+}  // namespace canids::campaign

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 
 #include "util/contracts.h"
@@ -151,6 +152,22 @@ GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
                              std::to_string(rows));
   }
   return tpl;
+}
+
+void GoldenTemplate::save(std::ostream& out) const {
+  out << serialize();
+  if (!out) {
+    throw std::runtime_error("golden template: write failed");
+  }
+}
+
+GoldenTemplate GoldenTemplate::load(std::istream& in) {
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("golden template: read failed");
+  }
+  return deserialize(text);
 }
 
 TemplateBuilder::TemplateBuilder(int width) : width_(width) {

@@ -19,6 +19,16 @@ namespace {
 
 }  // namespace
 
+std::optional<util::TimeNs> InstrumentedTrial::detection_latency()
+    const noexcept {
+  for (const WindowObservation& window : observations) {
+    if (window.evaluated && window.alert && window.end > attack_start) {
+      return window.end - attack_start;
+    }
+  }
+  return std::nullopt;
+}
+
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(config), vehicle_(config.vehicle) {
   CANIDS_EXPECTS(config_.training_windows >= 2);
@@ -79,6 +89,24 @@ const std::vector<ids::WindowSnapshot>& ExperimentRunner::training_snapshots() {
   return training_snapshots_;
 }
 
+SharedModels ExperimentRunner::trained_models() {
+  SharedModels models;
+  models.golden = train_shared();
+  models.training_snapshots = training_snapshots_;
+  models.muter = muter_model();
+  models.interval = interval_model();
+  return models;
+}
+
+void ExperimentRunner::adopt_models(const SharedModels& models) {
+  if (models.golden) {
+    golden_ = models.golden;
+    training_snapshots_ = models.training_snapshots;
+  }
+  if (models.muter) muter_model_ = models.muter;
+  if (models.interval) interval_model_ = models.interval;
+}
+
 TrialResult ExperimentRunner::run_trial(attacks::ScenarioKind kind,
                                         double frequency_hz,
                                         std::uint64_t trial_seed) {
@@ -110,12 +138,37 @@ TrialResult ExperimentRunner::run_single_id_trial(std::uint32_t id,
 TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
                                                double frequency_hz,
                                                std::uint64_t trial_seed) {
-  const std::shared_ptr<const ids::GoldenTemplate> golden = train_shared();
+  const InstrumentedTrial trial = run_instrumented_attack(
+      "bit-entropy", std::move(attack), frequency_hz, trial_seed);
 
   TrialResult result;
+  result.kind = trial.kind;
+  result.frequency_hz = trial.frequency_hz;
+  result.planned_ids = trial.planned_ids;
+  result.frames = trial.frames;
+  result.windows = trial.windows;
+  result.detection_rate = trial.detection_rate;
+  result.inference_accuracy = trial.inference_accuracy;
+  result.inference_hit_sum = trial.inference_hit_sum;
+  result.inference_windows = trial.inference_windows;
+  result.injection_rate_arbitration = trial.injection_rate_arbitration;
+  result.injection_rate_success = trial.injection_rate_success;
+  result.injected_transmitted = trial.injected_transmitted;
+  result.bus_load = trial.bus_load;
+  return result;
+}
+
+InstrumentedTrial ExperimentRunner::run_instrumented_attack(
+    std::string_view backend_name, attacks::BuiltAttack attack,
+    double frequency_hz, std::uint64_t trial_seed) {
+  InstrumentedTrial result;
+  result.backend = std::string(backend_name);
   result.kind = attack.kind;
   result.frequency_hz = frequency_hz;
+  result.trial_seed = trial_seed;
   result.planned_ids = attack.planned_ids;
+  result.attack_start = attack.node->attack_config().start;
+  result.attack_end = attack.node->attack_config().stop;
 
   const trace::DrivingBehavior behavior =
       trace::kAllBehaviors[trial_seed % trace::kAllBehaviors.size()];
@@ -126,50 +179,70 @@ TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
   attacks::InjectionNode* attacker = attack.node.get();
   const int attacker_index = bus.add_node(std::move(attack.node));
 
-  ids::IdsPipeline pipeline(golden, vehicle_.id_pool(), config_.pipeline);
+  const std::unique_ptr<analysis::DetectorBackend> backend =
+      make_backend(backend_name);
+  const bool supports_inference = backend->describe().supports_inference;
 
-  const util::TimeNs attack_start = config_.clean_lead_in;
-  const util::TimeNs attack_end =
-      config_.clean_lead_in + config_.attack_duration;
+  const util::TimeNs attack_start = result.attack_start;
+  const util::TimeNs attack_end = result.attack_end;
   const bool inferable = attacks::scenario_inferable(attack.kind);
 
-  std::deque<bool> pending_injected;  // per frame, in bus order
+  // Per frame in bus order: (timestamp, came from the attacker). Drained by
+  // timestamp as windows close, so the attribution works for any backend's
+  // frame accounting (including ones that drop frames).
+  std::deque<std::pair<util::TimeNs, bool>> pending_injected;
 
-  auto handle_report = [&](const ids::WindowReport& report) {
-    CANIDS_EXPECTS(pending_injected.size() >= report.snapshot.frames);
+  auto handle_verdict = [&](const analysis::WindowVerdict& verdict,
+                            bool final_window) {
     std::uint64_t injected_in_window = 0;
-    for (std::uint64_t i = 0; i < report.snapshot.frames; ++i) {
-      if (pending_injected.front()) ++injected_in_window;
+    while (!pending_injected.empty() &&
+           (final_window || pending_injected.front().first < verdict.end)) {
+      if (pending_injected.front().second) ++injected_in_window;
       pending_injected.pop_front();
     }
-    if (!report.detection.evaluated) return;
 
-    const bool overlaps_attack = report.snapshot.start < attack_end &&
-                                 report.snapshot.end > attack_start;
+    WindowObservation observation;
+    observation.start = verdict.start;
+    observation.end = verdict.end;
+    observation.frames = verdict.frames;
+    observation.injected = injected_in_window;
+    observation.evaluated = verdict.evaluated;
+    observation.alert = verdict.alert;
+    observation.metric = verdict.metric;
+    observation.threshold = verdict.threshold;
+    result.observations.push_back(observation);
+
+    if (!verdict.evaluated) return;
+
+    const bool overlaps_attack =
+        verdict.start < attack_end && verdict.end > attack_start;
     // Windows straddling the attack boundary carry only a partial injection
     // signature; the paper's inference events are full attack windows.
-    const bool inside_attack = report.snapshot.start >= attack_start &&
-                               report.snapshot.end <= attack_end;
-    result.frames.record_window(injected_in_window, report.detection.alert);
-    result.windows.record(overlaps_attack, report.detection.alert);
+    const bool inside_attack =
+        verdict.start >= attack_start && verdict.end <= attack_end;
+    result.frames.record_window(injected_in_window, verdict.alert);
+    result.windows.record(overlaps_attack, verdict.alert);
 
-    if (report.detection.alert && inside_attack && inferable &&
-        report.inference && !result.planned_ids.empty()) {
+    if (verdict.alert && inside_attack && inferable && supports_inference &&
+        verdict.detail && !result.planned_ids.empty()) {
       result.inference_hit_sum += ids::inference_hit_fraction(
-          result.planned_ids, report.inference->ranked_candidates);
+          result.planned_ids, verdict.detail->ranked_candidates);
       ++result.inference_windows;
     }
   };
 
   bus.add_listener([&](const can::TimedFrame& frame) {
-    pending_injected.push_back(frame.source_node == attacker_index);
-    if (auto report = pipeline.on_frame(frame.timestamp, frame.frame.id())) {
-      handle_report(*report);
+    pending_injected.emplace_back(frame.timestamp,
+                                  frame.source_node == attacker_index);
+    if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
+      handle_verdict(*verdict, /*final_window=*/false);
     }
   });
 
   bus.run_until(attack_end);
-  if (auto report = pipeline.finish()) handle_report(*report);
+  if (auto verdict = backend->finish()) {
+    handle_verdict(*verdict, /*final_window=*/true);
+  }
 
   result.detection_rate = result.frames.detection_rate();
   if (result.inference_windows > 0) {
@@ -182,7 +255,38 @@ TrialResult ExperimentRunner::run_built_attack(attacks::BuiltAttack attack,
   result.injection_rate_success = attacker->stats().injection_success_ratio();
   result.injected_transmitted = attacker->stats().transmitted;
   result.bus_load = bus.stats().load();
+  result.counters = backend->counters();
   return result;
+}
+
+InstrumentedTrial ExperimentRunner::run_instrumented_trial(
+    std::string_view backend, attacks::ScenarioKind kind, double frequency_hz,
+    std::uint64_t trial_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  attack_config.start = config_.clean_lead_in;
+  attack_config.stop = config_.clean_lead_in + config_.attack_duration;
+
+  util::Rng rng(derive_seed(config_.seed, 77 + trial_seed));
+  return run_instrumented_attack(
+      backend, attacks::make_scenario(kind, vehicle_, attack_config, rng),
+      frequency_hz, trial_seed);
+}
+
+InstrumentedTrial ExperimentRunner::run_instrumented_single_id_trial(
+    std::string_view backend, std::uint32_t id, double frequency_hz,
+    std::uint64_t trial_seed) {
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = frequency_hz;
+  attack_config.start = config_.clean_lead_in;
+  attack_config.stop = config_.clean_lead_in + config_.attack_duration;
+
+  util::Rng rng(derive_seed(config_.seed, 991 + trial_seed));
+  InstrumentedTrial trial = run_instrumented_attack(
+      backend, attacks::make_single_id_attack(attack_config, id, rng),
+      frequency_hz, trial_seed);
+  trial.single_id = id;
+  return trial;
 }
 
 std::shared_ptr<const baselines::MuterEntropyIds>
@@ -239,27 +343,30 @@ analysis::DetectorOptions ExperimentRunner::backend_options() {
   return options;
 }
 
+ExperimentRunner::BackendModelNeeds ExperimentRunner::backend_model_needs(
+    std::string_view name) noexcept {
+  BackendModelNeeds needs;
+  needs.muter = name == "symbol-entropy" || name == "ensemble";
+  needs.interval = name == "interval" || name == "ensemble";
+  if (name != "bit-entropy" && name != "symbol-entropy" &&
+      name != "interval" && name != "ensemble") {
+    needs.muter = needs.interval = true;
+  }
+  return needs;
+}
+
 std::unique_ptr<analysis::DetectorBackend> ExperimentRunner::make_backend(
     std::string_view name) {
-  // Train only the models the named backend can use; unknown (custom)
-  // names get everything, since their factories may read any slice.
+  // Train only the models the named backend can use.
   analysis::DetectorOptions options;
   options.pipeline = config_.pipeline;
   options.golden = train_shared();
   options.id_pool = vehicle_.id_pool();
   options.muter = config_.muter;
   options.interval = config_.interval;
-  if (name == "symbol-entropy" || name == "ensemble") {
-    options.muter_model = muter_model();
-  }
-  if (name == "interval" || name == "ensemble") {
-    options.interval_model = interval_model();
-  }
-  if (name != "bit-entropy" && name != "symbol-entropy" &&
-      name != "interval" && name != "ensemble") {
-    options.muter_model = muter_model();
-    options.interval_model = interval_model();
-  }
+  const BackendModelNeeds needs = backend_model_needs(name);
+  if (needs.muter) options.muter_model = muter_model();
+  if (needs.interval) options.interval_model = interval_model();
   return analysis::make_detector(name, options);
 }
 

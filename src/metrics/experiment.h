@@ -89,6 +89,71 @@ struct ComparisonTrial {
   ids::PipelineCounters counters;
 };
 
+/// One closed window as an instrumented trial observed it — enough to
+/// re-score the run at any detector sensitivity after the fact (the ROC
+/// sweep) and to measure detection latency at window granularity.
+struct WindowObservation {
+  util::TimeNs start = 0;
+  util::TimeNs end = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t injected = 0;  ///< attack frames that landed in the window
+  bool evaluated = false;
+  bool alert = false;          ///< at the backend's native threshold
+  double metric = 0.0;
+  double threshold = 0.0;
+
+  /// Threshold-free anomaly score: the backend's decision variable
+  /// normalized by its own threshold. Judging `score() >= scale` over a
+  /// scale sweep reproduces the full ROC curve, and scale 1 reproduces the
+  /// native verdicts — exactly for the integer-threshold backends
+  /// (interval, ensemble), which alert at metric >= threshold, and up to
+  /// exact floating-point threshold equality for the entropy backends,
+  /// which alert at metric > threshold.
+  [[nodiscard]] double score() const noexcept {
+    if (threshold > 0.0) return metric / threshold;
+    return metric > 0.0 ? 1e9 : 0.0;
+  }
+
+  friend bool operator==(const WindowObservation&,
+                         const WindowObservation&) = default;
+};
+
+/// Outcome of one fully-instrumented campaign trial: any registered backend
+/// over an attacked drive, with the paper-methodology aggregates (frame
+/// detection rate, window confusion, inference accuracy, injection rate)
+/// PLUS the per-window observation log that ROC and latency metrics need.
+struct InstrumentedTrial {
+  std::string backend;
+  attacks::ScenarioKind kind{};
+  /// Set when the trial injected one caller-chosen identifier (ID sweep).
+  std::optional<std::uint32_t> single_id;
+  double frequency_hz = 0.0;
+  std::uint64_t trial_seed = 0;
+  std::vector<std::uint32_t> planned_ids;
+  util::TimeNs attack_start = 0;
+  util::TimeNs attack_end = 0;
+
+  FrameDetection frames;
+  WindowConfusion windows;
+  double detection_rate = 0.0;
+  std::optional<double> inference_accuracy;
+  double inference_hit_sum = 0.0;
+  std::uint64_t inference_windows = 0;
+  double injection_rate_arbitration = 0.0;
+  double injection_rate_success = 0.0;
+  std::uint64_t injected_transmitted = 0;
+  double bus_load = 0.0;
+
+  std::vector<WindowObservation> observations;  ///< bus order
+  ids::PipelineCounters counters;
+
+  /// Window-granularity detection latency: end of the first alerting window
+  /// closing after the attack begins, minus the attack start. nullopt when
+  /// the attack was never flagged (false positives before the attack do
+  /// not count).
+  [[nodiscard]] std::optional<util::TimeNs> detection_latency() const noexcept;
+};
+
 /// Aggregate of several trials of the same scenario.
 struct ScenarioSummary {
   attacks::ScenarioKind kind{};
@@ -97,6 +162,17 @@ struct ScenarioSummary {
   std::optional<double> inference_accuracy;  ///< mean over trials with data
   double false_positive_rate = 0.0;  ///< window-level, across trials
   double mean_injection_rate = 0.0;  ///< arbitration view, mean over trials
+};
+
+/// Everything an ExperimentRunner trains lazily, bundled as immutable
+/// shared handles. A campaign trains ONE runner and hands the bundle to
+/// every worker runner, so an N-trial sweep pays one training pass instead
+/// of one per worker (or, before this existed, one per trial call site).
+struct SharedModels {
+  std::shared_ptr<const ids::GoldenTemplate> golden;
+  std::vector<ids::WindowSnapshot> training_snapshots;
+  std::shared_ptr<const baselines::MuterEntropyIds> muter;
+  std::shared_ptr<const baselines::IntervalIds> interval;
 };
 
 class ExperimentRunner {
@@ -120,6 +196,17 @@ class ExperimentRunner {
 
   /// The individual training windows (for Fig. 2 and the stability bench).
   [[nodiscard]] const std::vector<ids::WindowSnapshot>& training_snapshots();
+
+  /// Train everything this runner can train (golden template + both
+  /// baseline models) exactly once and return the bundle as shareable
+  /// immutable handles.
+  [[nodiscard]] SharedModels trained_models();
+
+  /// Adopt pretrained models — typically another runner's trained_models()
+  /// — so this runner never pays its own training pass. Partial bundles
+  /// are fine: absent entries remain lazily trainable. Must be called
+  /// before anything triggered training on this runner.
+  void adopt_models(const SharedModels& models);
 
   /// Run one attack trial. `trial_seed` individualises the run; the
   /// driving behaviour is rotated from it.
@@ -149,6 +236,17 @@ class ExperimentRunner {
   [[nodiscard]] std::shared_ptr<const baselines::IntervalIds>
   interval_model();
 
+  /// Which lazily-trained baseline models a backend name consumes — the
+  /// single gating rule shared by make_backend and by campaign training
+  /// (unknown custom names get everything, since their factories may read
+  /// any slice).
+  struct BackendModelNeeds {
+    bool muter = false;
+    bool interval = false;
+  };
+  [[nodiscard]] static BackendModelNeeds backend_model_needs(
+      std::string_view name) noexcept;
+
   /// DetectorOptions wired with this runner's golden template, the
   /// vehicle's id pool, the pipeline config, and both pretrained baseline
   /// models — make_detector(name, backend_options()) yields a ready
@@ -175,7 +273,25 @@ class ExperimentRunner {
       std::uint64_t vehicle_seed,
       std::optional<std::uint64_t> attack_seed = std::nullopt);
 
+  // ---- instrumented campaign trials ---------------------------------------
+
+  /// Run one attack trial through any registered backend with full
+  /// per-window instrumentation. Timing, seeding, and scoring mirror
+  /// run_trial exactly, so with backend == "bit-entropy" the aggregate
+  /// numbers are bit-identical to run_trial's TrialResult.
+  [[nodiscard]] InstrumentedTrial run_instrumented_trial(
+      std::string_view backend, attacks::ScenarioKind kind,
+      double frequency_hz, std::uint64_t trial_seed);
+
+  /// Instrumented single-ID sweep trial (mirrors run_single_id_trial).
+  [[nodiscard]] InstrumentedTrial run_instrumented_single_id_trial(
+      std::string_view backend, std::uint32_t id, double frequency_hz,
+      std::uint64_t trial_seed);
+
  private:
+  [[nodiscard]] InstrumentedTrial run_instrumented_attack(
+      std::string_view backend, attacks::BuiltAttack attack,
+      double frequency_hz, std::uint64_t trial_seed);
   [[nodiscard]] TrialResult run_built_attack(attacks::BuiltAttack attack,
                                              double frequency_hz,
                                              std::uint64_t trial_seed);

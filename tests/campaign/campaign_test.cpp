@@ -1,0 +1,412 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "ids/golden_template.h"
+#include "metrics/experiment.h"
+
+namespace canids::campaign {
+namespace {
+
+// ---- spec ------------------------------------------------------------------
+
+TEST(CampaignSpecTest, ScenarioTokensRoundTrip) {
+  for (const attacks::ScenarioKind kind : attacks::kAllScenarios) {
+    const auto parsed = scenario_from_token(scenario_token(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(scenario_from_token("nope").has_value());
+}
+
+TEST(CampaignSpecTest, JsonRoundTrip) {
+  CampaignSpec spec;
+  spec.name = "round-trip";
+  spec.detectors = {"bit-entropy", "interval"};
+  spec.scenarios = {attacks::ScenarioKind::kWeak,
+                    attacks::ScenarioKind::kFlood};
+  spec.rates_hz = {75.0, 12.5};
+  spec.seeds = 3;
+  spec.experiment.seed = 1234;
+  spec.experiment.training_windows = 12;
+  spec.experiment.clean_lead_in = util::from_seconds(2.5);
+  spec.experiment.attack_duration = util::from_seconds(7.0);
+  spec.experiment.pipeline.window.track_pairs = false;
+  spec.threshold_scales = {0.0, 0.5, 1.0, 2.0};
+
+  const CampaignSpec restored = CampaignSpec::from_json(spec.to_json());
+  EXPECT_EQ(restored.name, spec.name);
+  EXPECT_EQ(restored.detectors, spec.detectors);
+  EXPECT_EQ(restored.scenarios, spec.scenarios);
+  EXPECT_EQ(restored.rates_hz, spec.rates_hz);
+  EXPECT_EQ(restored.seeds, spec.seeds);
+  EXPECT_EQ(restored.experiment.seed, spec.experiment.seed);
+  EXPECT_EQ(restored.experiment.training_windows,
+            spec.experiment.training_windows);
+  EXPECT_EQ(restored.experiment.clean_lead_in, spec.experiment.clean_lead_in);
+  EXPECT_EQ(restored.experiment.attack_duration,
+            spec.experiment.attack_duration);
+  EXPECT_EQ(restored.experiment.pipeline.window.track_pairs,
+            spec.experiment.pipeline.window.track_pairs);
+  EXPECT_EQ(restored.threshold_scales, spec.threshold_scales);
+}
+
+TEST(CampaignSpecTest, SweepIdsRoundTripAndReplaceScenarios) {
+  CampaignSpec spec;
+  spec.sweep_ids = {0x101, 0x42A};
+  const CampaignSpec restored = CampaignSpec::from_json(spec.to_json());
+  EXPECT_EQ(restored.sweep_ids, spec.sweep_ids);
+}
+
+TEST(CampaignSpecTest, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW((void)CampaignSpec::from_json("not json"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("[1, 2]"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"bogus_key\": 1}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"scenarios\": [\"nope\"]}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"seeds\": 0}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"seeds\": true}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"name\": \"x\"} trailing"),
+               std::invalid_argument);
+  // Values that would wrap through size_t casts or place the attack at
+  // negative time must be rejected at parse time, not discovered as a
+  // hung training loop or garbage ground truth.
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"training_windows\": -1}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"training_windows\": 2.5}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"seed\": -4}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"lead_in_seconds\": -5}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampaignSpec::from_json("{\"attack_seconds\": 0}"),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpecTest, ValidateRejectsDegenerateGrids) {
+  CampaignSpec spec;
+  spec.detectors.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = CampaignSpec{};
+  spec.scenarios.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.sweep_ids = {0x100};  // sweep mode needs no scenarios
+  EXPECT_NO_THROW(spec.validate());
+
+  spec = CampaignSpec{};
+  spec.rates_hz = {-5.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = CampaignSpec{};
+  spec.seeds = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(CampaignSpecTest, PlanSeedsMatchHistoricOrderings) {
+  CampaignSpec spec;
+  spec.detectors = {"a", "b"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle,
+                    attacks::ScenarioKind::kMulti2};
+  spec.rates_hz = {100.0, 50.0};
+  spec.seeds = 2;
+
+  const std::vector<TrialPlan> plan = spec.plan();
+  ASSERT_EQ(plan.size(), spec.trial_count());
+  ASSERT_EQ(plan.size(), 16u);
+
+  // Scenario cells reuse the run_scenario counter: rate-major per
+  // scenario, restarting per scenario — so every detector sees identical
+  // traffic for a given (scenario, rate, seed) cell.
+  EXPECT_EQ(plan[0].trial_seed, 0u);  // a, single, 100 Hz, seed 0
+  EXPECT_EQ(plan[1].trial_seed, 1u);  // a, single, 100 Hz, seed 1
+  EXPECT_EQ(plan[2].trial_seed, 2u);  // a, single, 50 Hz, seed 0
+  EXPECT_EQ(plan[4].trial_seed, 0u);  // a, multi2 restarts
+  EXPECT_EQ(plan[8].trial_seed, 0u);  // detector b repeats the same seeds
+  EXPECT_EQ(plan[8].detector, "b");
+
+  // Sweep mode counts per identifier (the Fig. 3 ordering).
+  CampaignSpec sweep = spec;
+  sweep.detectors = {"a"};
+  sweep.sweep_ids = {0x100, 0x200};
+  sweep.rates_hz = {100.0};
+  sweep.seeds = 3;
+  const std::vector<TrialPlan> sweep_plan = sweep.plan();
+  ASSERT_EQ(sweep_plan.size(), 6u);
+  EXPECT_EQ(sweep_plan[0].trial_seed, 0u);
+  EXPECT_EQ(sweep_plan[2].trial_seed, 2u);
+  EXPECT_EQ(sweep_plan[3].trial_seed, 3u);  // second ID continues counting
+  EXPECT_EQ(*sweep_plan[3].sweep_id, 0x200u);
+}
+
+// ---- latency + ROC on hand-built observations ------------------------------
+
+metrics::WindowObservation window(util::TimeNs start, util::TimeNs end,
+                                  bool evaluated, bool alert, double metric,
+                                  double threshold) {
+  metrics::WindowObservation observation;
+  observation.start = start;
+  observation.end = end;
+  observation.frames = 100;
+  observation.evaluated = evaluated;
+  observation.alert = alert;
+  observation.metric = metric;
+  observation.threshold = threshold;
+  return observation;
+}
+
+/// A hand-built trial: 1 s windows over [0 s, 6 s), attack starting at
+/// 2.5 s. The detector misses the first attacked window and alerts from
+/// 4 s on, so the first alerting window ends at 5 s — latency 2.5 s.
+metrics::InstrumentedTrial handmade_trial() {
+  metrics::InstrumentedTrial trial;
+  trial.backend = "bit-entropy";
+  trial.kind = attacks::ScenarioKind::kSingle;
+  trial.frequency_hz = 100.0;
+  trial.attack_start = util::from_seconds(2.5);
+  trial.attack_end = util::from_seconds(6.0);
+  const auto s = [](double t) { return util::from_seconds(t); };
+  trial.observations = {
+      window(s(0), s(1), false, false, 0.0, 1.0),  // calibration
+      window(s(1), s(2), true, false, 0.2, 1.0),   // clean, quiet
+      window(s(2), s(3), true, false, 0.8, 1.0),   // attacked, missed
+      window(s(3), s(4), true, false, 0.9, 1.0),   // attacked, missed
+      window(s(4), s(5), true, true, 1.7, 1.0),    // attacked, alerted
+      window(s(5), s(6), true, true, 2.4, 1.0),    // attacked, alerted
+  };
+  // Native-threshold confusion, as run_instrumented_attack records it.
+  for (const metrics::WindowObservation& observation : trial.observations) {
+    if (!observation.evaluated) continue;
+    trial.windows.record(observation.start < trial.attack_end &&
+                             observation.end > trial.attack_start,
+                         observation.alert);
+  }
+  return trial;
+}
+
+TEST(DetectionLatencyTest, FirstAlertingWindowAfterAttackStart) {
+  const metrics::InstrumentedTrial trial = handmade_trial();
+  const auto latency = trial.detection_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, util::from_seconds(5.0) - util::from_seconds(2.5));
+}
+
+TEST(DetectionLatencyTest, FalsePositiveBeforeAttackDoesNotCount) {
+  metrics::InstrumentedTrial trial = handmade_trial();
+  // A false positive in [1 s, 2 s) ends before the attack begins; latency
+  // must still come from the 4–5 s window.
+  trial.observations[1].alert = true;
+  const auto latency = trial.detection_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, util::from_seconds(2.5));
+}
+
+TEST(DetectionLatencyTest, UndetectedAttackHasNoLatency) {
+  metrics::InstrumentedTrial trial = handmade_trial();
+  for (auto& observation : trial.observations) observation.alert = false;
+  EXPECT_FALSE(trial.detection_latency().has_value());
+}
+
+TEST(RocTest, AucIsOneForPerfectSeparationAndHalfForAnchorsOnly) {
+  std::vector<RocPoint> perfect(1);
+  perfect[0].tpr = 1.0;
+  perfect[0].fpr = 0.0;
+  EXPECT_DOUBLE_EQ(auc_of(perfect), 1.0);
+  EXPECT_DOUBLE_EQ(auc_of({}), 0.5);  // just the (0,0) and (1,1) anchors
+}
+
+TEST(RocTest, MakeReportSweepsThresholdScales) {
+  CampaignSpec spec;
+  spec.detectors = {"bit-entropy"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle};
+  spec.rates_hz = {100.0};
+  spec.seeds = 1;
+  spec.threshold_scales = {0.5, 1.0, 3.0};
+
+  const CampaignReport report = make_report(spec, {handmade_trial()});
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CampaignCell& cell = report.cells.front();
+
+  // Native threshold: 2 of 4 attacked windows alerted, clean window quiet.
+  EXPECT_DOUBLE_EQ(cell.tpr, 0.5);
+  EXPECT_DOUBLE_EQ(cell.fpr, 0.0);
+  ASSERT_TRUE(cell.mean_latency_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*cell.mean_latency_seconds, 2.5);
+  EXPECT_EQ(cell.detected_trials, 1);
+
+  ASSERT_EQ(cell.roc.size(), 3u);
+  // scale 0.5: scores {0.2 clean; 0.8, 0.9, 1.7, 2.4 attacked} -> all
+  // four attacked windows flagged, the clean one still quiet.
+  EXPECT_DOUBLE_EQ(cell.roc[0].tpr, 1.0);
+  EXPECT_DOUBLE_EQ(cell.roc[0].fpr, 0.0);
+  // scale 1.0 reproduces the native verdicts.
+  EXPECT_DOUBLE_EQ(cell.roc[1].tpr, 0.5);
+  EXPECT_DOUBLE_EQ(cell.roc[1].fpr, 0.0);
+  // scale 3.0: nothing scores that high.
+  EXPECT_DOUBLE_EQ(cell.roc[2].tpr, 0.0);
+  EXPECT_DOUBLE_EQ(cell.roc[2].fpr, 0.0);
+  EXPECT_DOUBLE_EQ(cell.auc, 1.0);  // perfect separation at scale 0.5
+}
+
+TEST(RocTest, ScaleOneMatchesNativeVerdictsForInclusiveThresholds) {
+  // Interval/ensemble alert at metric >= threshold, so a window sitting
+  // exactly at its threshold (score 1) alerts natively and must alert at
+  // scale 1 too.
+  CampaignSpec spec;
+  spec.detectors = {"interval"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle};
+  spec.rates_hz = {100.0};
+  spec.seeds = 1;
+  spec.threshold_scales = {1.0};
+
+  metrics::InstrumentedTrial trial;
+  trial.backend = "interval";
+  trial.kind = attacks::ScenarioKind::kSingle;
+  trial.frequency_hz = 100.0;
+  trial.attack_start = util::from_seconds(1.0);
+  trial.attack_end = util::from_seconds(3.0);
+  const auto s = [](double t) { return util::from_seconds(t); };
+  trial.observations = {
+      window(s(0), s(1), true, false, 2.0, 3.0),  // clean, below threshold
+      window(s(1), s(2), true, true, 3.0, 3.0),   // attacked, AT threshold
+      window(s(2), s(3), true, true, 5.0, 3.0),   // attacked, above
+  };
+  for (const metrics::WindowObservation& observation : trial.observations) {
+    trial.windows.record(observation.start < trial.attack_end &&
+                             observation.end > trial.attack_start,
+                         observation.alert);
+  }
+
+  const CampaignReport report = make_report(spec, {trial});
+  const CampaignCell& cell = report.cells.front();
+  ASSERT_EQ(cell.roc.size(), 1u);
+  EXPECT_DOUBLE_EQ(cell.roc[0].tpr, cell.tpr);
+  EXPECT_DOUBLE_EQ(cell.roc[0].fpr, cell.fpr);
+  EXPECT_DOUBLE_EQ(cell.roc[0].tpr, 1.0);
+}
+
+TEST(RocTest, MakeReportRejectsTrialCountMismatch) {
+  CampaignSpec spec;  // default grid expects many trials
+  EXPECT_THROW((void)make_report(spec, {handmade_trial()}),
+               std::invalid_argument);
+}
+
+// ---- end-to-end determinism ------------------------------------------------
+
+/// A fast real campaign: one scenario, two detectors, 2 seeds, short
+/// drives.
+CampaignSpec quick_spec() {
+  CampaignSpec spec;
+  spec.name = "determinism";
+  spec.detectors = {"bit-entropy", "interval"};
+  spec.scenarios = {attacks::ScenarioKind::kSingle};
+  spec.rates_hz = {100.0};
+  spec.seeds = 2;
+  spec.experiment.training_windows = 8;
+  spec.experiment.clean_lead_in = 2 * util::kSecond;
+  spec.experiment.attack_duration = 4 * util::kSecond;
+  return spec;
+}
+
+std::string report_bytes(const CampaignReport& report) {
+  std::ostringstream out;
+  report.write_json(out);
+  report.write_trials_csv(out);
+  report.write_cells_csv(out);
+  report.write_roc_csv(out);
+  return out.str();
+}
+
+TEST(CampaignRunnerTest, ReportIsByteIdenticalAtAnyWorkerCount) {
+  CampaignSpec one = quick_spec();
+  one.workers = 1;
+  CampaignSpec eight = quick_spec();
+  eight.workers = 8;
+
+  CampaignRunner runner_one(one);
+  CampaignRunner runner_eight(eight);
+  const std::string bytes_one = report_bytes(runner_one.run());
+  const std::string bytes_eight = report_bytes(runner_eight.run());
+  EXPECT_EQ(bytes_one, bytes_eight);
+}
+
+TEST(CampaignRunnerTest, RejectsUnknownDetectors) {
+  CampaignSpec spec = quick_spec();
+  spec.detectors = {"no-such-detector"};
+  EXPECT_THROW(CampaignRunner{spec}, analysis::UnknownDetectorError);
+}
+
+TEST(CampaignRunnerTest, ColdStartsFromSavedTemplate) {
+  // Save the template a master runner would train...
+  CampaignSpec spec = quick_spec();
+  spec.detectors = {"bit-entropy"};
+  spec.seeds = 1;
+  metrics::ExperimentRunner master(spec.experiment);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "canids_campaign_test.tpl";
+  {
+    std::ofstream out(path);
+    master.train().save(out);
+  }
+
+  // ...then a cold-started campaign must reproduce the in-process one.
+  CampaignSpec cold = spec;
+  cold.template_path = path.string();
+  CampaignRunner warm_runner(spec);
+  CampaignRunner cold_runner(cold);
+  const CampaignReport warm = warm_runner.run();
+  const CampaignReport cold_report = cold_runner.run();
+  ASSERT_EQ(warm.trials.size(), cold_report.trials.size());
+  EXPECT_EQ(warm.trials[0].frames.detected_frames,
+            cold_report.trials[0].frames.detected_frames);
+  EXPECT_EQ(warm.trials[0].windows.true_positive,
+            cold_report.trials[0].windows.true_positive);
+  std::filesystem::remove(path);
+
+  CampaignSpec missing = spec;
+  missing.template_path = "/nonexistent/template.tpl";
+  CampaignRunner missing_runner(missing);
+  EXPECT_THROW((void)missing_runner.run(), std::runtime_error);
+}
+
+TEST(InstrumentedTrialTest, BitEntropyMatchesPaperTrialExactly) {
+  metrics::ExperimentConfig config;
+  config.training_windows = 6;
+  config.attack_duration = 4 * util::kSecond;
+  metrics::ExperimentRunner runner(config);
+
+  const metrics::TrialResult expected =
+      runner.run_trial(attacks::ScenarioKind::kMulti2, 100.0, 1);
+  const metrics::InstrumentedTrial actual = runner.run_instrumented_trial(
+      "bit-entropy", attacks::ScenarioKind::kMulti2, 100.0, 1);
+
+  EXPECT_EQ(actual.frames.injected_frames, expected.frames.injected_frames);
+  EXPECT_EQ(actual.frames.detected_frames, expected.frames.detected_frames);
+  EXPECT_EQ(actual.windows.true_positive, expected.windows.true_positive);
+  EXPECT_EQ(actual.windows.false_positive, expected.windows.false_positive);
+  EXPECT_EQ(actual.windows.true_negative, expected.windows.true_negative);
+  EXPECT_EQ(actual.windows.false_negative, expected.windows.false_negative);
+  EXPECT_DOUBLE_EQ(actual.detection_rate, expected.detection_rate);
+  EXPECT_DOUBLE_EQ(actual.inference_hit_sum, expected.inference_hit_sum);
+  EXPECT_EQ(actual.inference_windows, expected.inference_windows);
+  EXPECT_DOUBLE_EQ(actual.injection_rate_arbitration,
+                   expected.injection_rate_arbitration);
+  EXPECT_EQ(actual.injected_transmitted, expected.injected_transmitted);
+  // And the instrumentation is present on top.
+  EXPECT_FALSE(actual.observations.empty());
+}
+
+}  // namespace
+}  // namespace canids::campaign

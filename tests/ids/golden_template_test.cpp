@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -90,6 +91,34 @@ TEST(GoldenTemplateTest, SerializeDeserializeIdentity) {
   const GoldenTemplate restored =
       GoldenTemplate::deserialize(original.serialize());
   EXPECT_EQ(restored, original);
+}
+
+TEST(GoldenTemplateTest, SaveLoadStreamRoundTrip) {
+  TemplateBuilder builder;
+  util::Rng rng(11);
+  for (int w = 0; w < 5; ++w) {
+    WindowSnapshot snap;
+    snap.frames = 700;
+    snap.probabilities.resize(11);
+    snap.entropies.resize(11);
+    for (int bit = 0; bit < 11; ++bit) {
+      const double p = rng.uniform(0.1, 0.9);
+      snap.probabilities[static_cast<std::size_t>(bit)] = p;
+      snap.entropies[static_cast<std::size_t>(bit)] = binary_entropy(p);
+    }
+    builder.add_window(snap);
+  }
+  const GoldenTemplate original = builder.build();
+
+  std::stringstream stream;
+  original.save(stream);
+  const GoldenTemplate restored = GoldenTemplate::load(stream);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(GoldenTemplateTest, LoadRejectsGarbageStream) {
+  std::stringstream stream("definitely not a template\n");
+  EXPECT_THROW((void)GoldenTemplate::load(stream), std::runtime_error);
 }
 
 TEST(GoldenTemplateTest, DeserializeRejectsGarbage) {

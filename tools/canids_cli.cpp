@@ -11,7 +11,13 @@
 //       [--window S] [--no-pairs] [--calibrate N] [--quiet]
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
+//   canids campaign [spec.json] [--smoke] [--out DIR] [grid flags...]
+//       parallel detector x scenario x rate x seed evaluation sweep with
+//       ROC/AUC + detection-latency reports (CSV + JSON)
 //
+// `train --save PATH` persists the golden template; `detect`/`fleet` accept
+// `--template PATH` in place of the positional template argument, and a
+// campaign spec's `template_path` cold-starts the sweep from a saved model.
 // Captures may be candump logs or Vehicle-Spy-style CSV (auto-detected).
 // `detect` and `fleet` run any backend registered in the DetectorRegistry
 // (default: the paper's bit-entropy detector) through one code path; both
@@ -36,6 +42,9 @@
 
 #include "analysis/registry.h"
 #include "attacks/scenario.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
 #include "engine/fleet_engine.h"
 #include "ids/pipeline.h"
 #include "metrics/experiment.h"
@@ -66,7 +75,17 @@ void print_usage(std::FILE* out) {
                "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
                "[--window S] [--no-pairs] [--calibrate N] [--quiet]\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
-               "[--seed N] [--attack KIND] [--freq HZ]\n");
+               "[--seed N] [--attack KIND] [--freq HZ]\n"
+               "  canids campaign [spec.json] [--smoke] [--out DIR] "
+               "[--detectors A,B] [--scenarios A,B] [--ids HEX,...] "
+               "[--rates HZ,...] [--seeds N] [--seed N] [--alpha A] "
+               "[--window S] [--lead-in S] [--duration S] "
+               "[--training-windows N] [--workers N] [--template PATH] "
+               "[--quiet]\n"
+               "\n"
+               "`train --save PATH` writes the golden template; detect/fleet "
+               "accept `--template PATH` instead of the positional "
+               "template.\n");
 }
 
 int usage() {
@@ -119,6 +138,26 @@ std::optional<std::size_t> arg_calibrate(std::vector<std::string>& args) {
   return static_cast<std::size_t>(*value);
 }
 
+/// Integer flag with explicit bounds. Fractional or out-of-range values
+/// are rejected loudly (the CLI-hardening contract: a silently truncated
+/// `--seeds 2.7` — or a `--seeds 2^32+1` wrapped through an int cast —
+/// would run a different campaign than the user asked for).
+std::optional<long long> arg_integer(std::vector<std::string>& args,
+                                     const std::string& flag,
+                                     long long min_value,
+                                     long long max_value) {
+  const auto value = arg_number(args, flag);
+  if (!value) return std::nullopt;
+  if (*value != std::floor(*value) ||
+      *value < static_cast<double>(min_value) ||
+      *value > static_cast<double>(max_value)) {
+    throw UsageError{flag + " expects an integer in [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "]"};
+  }
+  return static_cast<long long>(*value);
+}
+
 bool arg_flag(std::vector<std::string>& args, const std::string& flag) {
   const auto it = std::find(args.begin(), args.end(), flag);
   if (it == args.end()) return false;
@@ -168,7 +207,7 @@ int cmd_train(const std::string& out_path,
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 66;  // EX_NOINPUT-ish
   }
-  out << golden.serialize();
+  golden.save(out);
   std::printf("template (%zu windows, pairs=%s) -> %s\n",
               golden.training_windows, golden.has_pairs() ? "yes" : "no",
               out_path.c_str());
@@ -205,10 +244,8 @@ std::shared_ptr<const ids::GoldenTemplate> load_template(
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
     return nullptr;
   }
-  const std::string text((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
   return std::make_shared<const ids::GoldenTemplate>(
-      ids::GoldenTemplate::deserialize(text));
+      ids::GoldenTemplate::load(in));
 }
 
 /// Build a backend from the registry, translating an unknown name into the
@@ -561,6 +598,176 @@ int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
   return 0;
 }
 
+/// Split a comma-separated flag value ("a,b,c") into its items.
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<double> parse_number_list(const std::string& value,
+                                      const std::string& flag) {
+  std::vector<double> numbers;
+  for (const std::string& item : split_list(value)) {
+    try {
+      std::size_t used = 0;
+      numbers.push_back(std::stod(item, &used));
+      if (used != item.size()) throw std::invalid_argument("trail");
+    } catch (const std::exception&) {
+      throw UsageError{"invalid value '" + item + "' in " + flag};
+    }
+  }
+  return numbers;
+}
+
+int cmd_campaign(std::vector<std::string> args) {
+  // Base spec: --smoke preset, a JSON spec file, or the defaults; grid
+  // flags below override whichever base was chosen.
+  campaign::CampaignSpec spec;
+  const bool smoke = arg_flag(args, "--smoke");
+  if (smoke) {
+    spec = campaign::CampaignSpec::smoke();
+  }
+  if (!args.empty() && args.front().rfind("--", 0) != 0) {
+    if (smoke) {
+      throw UsageError{
+          "--smoke is a built-in preset and cannot be combined with a "
+          "spec file"};
+    }
+    const std::string spec_path = args.front();
+    args.erase(args.begin());
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", spec_path.c_str());
+      return 66;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    spec = campaign::CampaignSpec::from_json(text);
+  }
+
+  if (const auto detectors = arg_string(args, "--detectors")) {
+    spec.detectors = split_list(*detectors);
+  }
+  if (const auto scenarios = arg_string(args, "--scenarios")) {
+    spec.scenarios.clear();
+    for (const std::string& token : split_list(*scenarios)) {
+      const auto kind = campaign::scenario_from_token(token);
+      if (!kind) {
+        throw UsageError{"unknown scenario '" + token +
+                         "' (flood|single|multi2|multi3|multi4|weak)"};
+      }
+      spec.scenarios.push_back(*kind);
+    }
+  }
+  if (const auto ids = arg_string(args, "--ids")) {
+    spec.sweep_ids.clear();
+    for (const std::string& item : split_list(*ids)) {
+      try {
+        std::size_t used = 0;
+        const unsigned long long id = std::stoull(item, &used, 0);
+        if (used != item.size() || id > 0xFFFFFFFFull) {
+          throw std::invalid_argument("range");
+        }
+        spec.sweep_ids.push_back(static_cast<std::uint32_t>(id));
+      } catch (const std::exception&) {
+        throw UsageError{"invalid identifier '" + item + "' in --ids"};
+      }
+    }
+  }
+  if (const auto rates = arg_string(args, "--rates")) {
+    spec.rates_hz = parse_number_list(*rates, "--rates");
+  }
+  if (const auto seeds = arg_integer(args, "--seeds", 1, 1000000)) {
+    spec.seeds = static_cast<int>(*seeds);
+  }
+  if (const auto seed = arg_integer(args, "--seed", 0, 9007199254740992LL)) {
+    spec.experiment.seed = static_cast<std::uint64_t>(*seed);
+  }
+  if (const auto alpha = arg_number(args, "--alpha")) {
+    spec.experiment.pipeline.detector.alpha = *alpha;
+    spec.experiment.muter.alpha = *alpha;
+  }
+  if (const auto window = arg_number(args, "--window")) {
+    spec.experiment.pipeline.window.duration = util::from_seconds(*window);
+  }
+  if (const auto lead_in = arg_number(args, "--lead-in")) {
+    spec.experiment.clean_lead_in = util::from_seconds(*lead_in);
+  }
+  if (const auto duration = arg_number(args, "--duration")) {
+    spec.experiment.attack_duration = util::from_seconds(*duration);
+  }
+  if (const auto training = arg_integer(args, "--training-windows", 2, 1000000)) {
+    spec.experiment.training_windows = static_cast<std::size_t>(*training);
+  }
+  if (const auto workers = arg_integer(args, "--workers", 0, 4096)) {
+    spec.workers = static_cast<int>(*workers);
+  }
+  if (const auto tpl = arg_string(args, "--template")) {
+    spec.template_path = *tpl;
+  }
+  const auto out_dir = arg_string(args, "--out");
+  const bool quiet = arg_flag(args, "--quiet");
+  reject_leftovers(args);
+
+  campaign::CampaignRunner runner(std::move(spec));
+  std::printf("campaign '%s': %zu trials (%zu detectors x %zu %s x %zu "
+              "rates x %d seeds)\n",
+              runner.spec().name.c_str(), runner.spec().trial_count(),
+              runner.spec().detectors.size(),
+              runner.spec().sweep_ids.empty()
+                  ? runner.spec().scenarios.size()
+                  : runner.spec().sweep_ids.size(),
+              runner.spec().sweep_ids.empty() ? "scenarios" : "IDs",
+              runner.spec().rates_hz.size(), runner.spec().seeds);
+
+  const campaign::CampaignReport report = runner.run();
+
+  if (!quiet) {
+    util::Table table({"detector", "scenario", "rate Hz", "Dr", "TPR", "FPR",
+                       "F1", "AUC", "latency s", "infer"});
+    for (const campaign::CampaignCell& cell : report.cells) {
+      table.add_row(
+          {cell.detector,
+           cell.sweep_id ? "id " + std::to_string(*cell.sweep_id)
+                         : std::string(campaign::scenario_token(cell.kind)),
+           util::Table::num(cell.frequency_hz, 0),
+           util::Table::percent(cell.detection_rate),
+           util::Table::percent(cell.tpr), util::Table::percent(cell.fpr),
+           util::Table::num(cell.f1, 3), util::Table::num(cell.auc, 3),
+           cell.mean_latency_seconds
+               ? util::Table::num(*cell.mean_latency_seconds, 2)
+               : std::string("--"),
+           cell.inference_accuracy
+               ? util::Table::percent(*cell.inference_accuracy)
+               : std::string("--")});
+    }
+    table.print(std::cout);
+  }
+
+  const campaign::CampaignRunStats& stats = runner.stats();
+  std::printf("%zu trials on %d workers in %.2fs (%.2f trials/s, training "
+              "%.2fs, once)\n",
+              stats.trials, stats.workers, stats.wall_seconds,
+              stats.trials_per_second(), stats.train_seconds);
+
+  if (out_dir) {
+    report.write_all(*out_dir);
+    std::printf("report -> %s/{trials.csv, cells.csv, roc.csv, report.json}\n",
+                out_dir->c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -579,19 +786,45 @@ int main(int argc, char** argv) {
       }
       return cmd_detectors();
     }
-    if (command == "train" && args.size() >= 2) {
-      return cmd_train(args[0], {args.begin() + 1, args.end()});
+    if (command == "train") {
+      // `train --save PATH clean...` or the positional `train PATH clean...`.
+      const auto save = arg_string(args, "--save");
+      if (save && !args.empty()) {
+        return cmd_train(*save, args);
+      }
+      if (!save && args.size() >= 2) {
+        return cmd_train(args[0], {args.begin() + 1, args.end()});
+      }
+      return usage();
     }
-    if (command == "detect" && args.size() >= 2) {
-      const std::string tpl = args[0];
-      const std::string capture = args[1];
-      return cmd_detect(tpl, capture, {args.begin() + 2, args.end()});
+    if (command == "detect") {
+      // `--template PATH` replaces the positional template argument.
+      const auto tpl = arg_string(args, "--template");
+      if (tpl && !args.empty()) {
+        if (args[0].rfind("--", 0) == 0) {
+          throw UsageError{"with --template, the capture path must come "
+                           "before other flags"};
+        }
+        return cmd_detect(*tpl, args[0], {args.begin() + 1, args.end()});
+      }
+      if (!tpl && args.size() >= 2) {
+        return cmd_detect(args[0], args[1], {args.begin() + 2, args.end()});
+      }
+      return usage();
     }
-    if (command == "fleet" && args.size() >= 2) {
-      const std::string tpl = args[0];
+    if (command == "fleet" && !args.empty()) {
+      const auto template_flag = arg_string(args, "--template");
+      std::string tpl;
+      std::size_t first_input = 0;
+      if (template_flag) {
+        tpl = *template_flag;
+      } else {
+        tpl = args[0];
+        first_input = 1;
+      }
       std::vector<std::string> inputs;
       std::vector<std::string> flags;
-      for (std::size_t i = 1; i < args.size(); ++i) {
+      for (std::size_t i = first_input; i < args.size(); ++i) {
         // Flags (and their values) start at the first "--" argument.
         if (args[i].rfind("--", 0) == 0) {
           flags.assign(args.begin() + static_cast<std::ptrdiff_t>(i),
@@ -600,8 +833,17 @@ int main(int argc, char** argv) {
         }
         inputs.push_back(args[i]);
       }
-      if (inputs.empty()) return usage();
+      if (inputs.empty()) {
+        if (template_flag) {
+          throw UsageError{"with --template, capture paths must come "
+                           "before other flags"};
+        }
+        return usage();
+      }
       return cmd_fleet(tpl, inputs, std::move(flags));
+    }
+    if (command == "campaign") {
+      return cmd_campaign(std::move(args));
     }
     if (command == "simulate" && !args.empty()) {
       const std::string out = args[0];
