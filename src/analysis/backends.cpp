@@ -1,9 +1,14 @@
 #include "analysis/backends.h"
 
 #include <algorithm>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
 #include <utility>
 
 #include "ids/bit_counters.h"
+#include "model/store.h"
 #include "util/contracts.h"
 
 namespace canids::analysis {
@@ -105,6 +110,22 @@ std::unique_ptr<DetectorBackend> BitEntropyBackend::clone_for_stream(
       golden_, id_pool.empty() ? id_pool_ : std::move(id_pool), config_);
 }
 
+std::string_view BitEntropyBackend::model_section() const noexcept {
+  return model::kGoldenSection;
+}
+
+void BitEntropyBackend::export_model(std::ostream& out) const {
+  golden_->save(out);
+}
+
+void BitEntropyBackend::import_model(std::istream& in) {
+  golden_ = std::make_shared<const ids::GoldenTemplate>(
+      ids::GoldenTemplate::load(in));
+  // Fresh pipeline against the new template: runtime window state restarts
+  // pristine (import is a cold start, not a mid-window model swap).
+  pipeline_ = ids::IdsPipeline(golden_, id_pool_, config_);
+}
+
 // ---- SymbolEntropyBackend ---------------------------------------------------
 
 SymbolEntropyBackend::SymbolEntropyBackend(
@@ -185,6 +206,27 @@ std::unique_ptr<DetectorBackend> SymbolEntropyBackend::clone_for_stream(
   // calibrate on their own stream (per-vehicle entropy bands).
   return std::make_unique<SymbolEntropyBackend>(
       pretrained_, config_, window_duration_, calibration_windows_);
+}
+
+std::string_view SymbolEntropyBackend::model_section() const noexcept {
+  return model::kMuterSection;
+}
+
+void SymbolEntropyBackend::export_model(std::ostream& out) const {
+  if (!model_) {
+    throw std::runtime_error(
+        "symbol-entropy: no trained model to export — calibration has not "
+        "finished");
+  }
+  model_->save(out);
+}
+
+void SymbolEntropyBackend::import_model(std::istream& in) {
+  pretrained_ = std::make_shared<const baselines::MuterEntropyIds>(
+      baselines::MuterEntropyIds::load(in));
+  model_ = pretrained_;
+  training_.clear();
+  accumulator_ = baselines::SymbolEntropyAccumulator(window_duration_);
 }
 
 // ---- IntervalBackend --------------------------------------------------------
@@ -277,6 +319,29 @@ std::unique_ptr<DetectorBackend> IntervalBackend::clone_for_stream(
   return std::make_unique<IntervalBackend>(pretrained_, config_,
                                            window_duration_,
                                            calibration_windows_);
+}
+
+std::string_view IntervalBackend::model_section() const noexcept {
+  return model::kIntervalSection;
+}
+
+void IntervalBackend::export_model(std::ostream& out) const {
+  if (!detector_.trained()) {
+    throw std::runtime_error(
+        "interval: no trained model to export — calibration has not "
+        "finished");
+  }
+  detector_.save(out);
+}
+
+void IntervalBackend::import_model(std::istream& in) {
+  pretrained_ = std::make_shared<const baselines::IntervalIds>(
+      baselines::IntervalIds::load(in));
+  detector_ = *pretrained_;
+  clock_ = util::WindowClock(window_duration_);
+  last_timestamp_ = 0;
+  frames_in_window_ = 0;
+  windows_trained_ = 0;
 }
 
 // ---- EnsembleDetector -------------------------------------------------------

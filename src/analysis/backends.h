@@ -30,7 +30,8 @@
 namespace canids::analysis {
 
 /// The paper's detector behind the unified interface.
-class BitEntropyBackend final : public DetectorBackend {
+class BitEntropyBackend final : public DetectorBackend,
+                                public TrainableBackend {
  public:
   /// `golden` must be non-null. A non-empty `id_pool` enables malicious-ID
   /// inference on alerting windows.
@@ -48,6 +49,13 @@ class BitEntropyBackend final : public DetectorBackend {
   [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
       std::vector<std::uint32_t> id_pool = {}) const override;
 
+  [[nodiscard]] TrainableBackend* trainable() noexcept override {
+    return this;
+  }
+  [[nodiscard]] std::string_view model_section() const noexcept override;
+  void export_model(std::ostream& out) const override;
+  void import_model(std::istream& in) override;
+
   /// The wrapped pipeline (bit-level detail beyond the verdict model).
   [[nodiscard]] const ids::IdsPipeline& pipeline() const noexcept {
     return pipeline_;
@@ -64,7 +72,8 @@ class BitEntropyBackend final : public DetectorBackend {
 };
 
 /// Whole-ID-distribution entropy (Müter & Asaj [8]).
-class SymbolEntropyBackend final : public DetectorBackend {
+class SymbolEntropyBackend final : public DetectorBackend,
+                                   public TrainableBackend {
  public:
   /// With a pre-trained `model`, every window is judged from the start;
   /// with nullptr the backend trains itself on the first
@@ -84,6 +93,15 @@ class SymbolEntropyBackend final : public DetectorBackend {
   [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
       std::vector<std::uint32_t> id_pool = {}) const override;
 
+  [[nodiscard]] TrainableBackend* trainable() noexcept override {
+    return this;
+  }
+  [[nodiscard]] std::string_view model_section() const noexcept override;
+  /// Exports the active model — pretrained or self-calibrated; throws
+  /// while calibration is still in progress.
+  void export_model(std::ostream& out) const override;
+  void import_model(std::istream& in) override;
+
  private:
   [[nodiscard]] WindowVerdict judge(const baselines::SymbolWindow& window);
 
@@ -98,7 +116,8 @@ class SymbolEntropyBackend final : public DetectorBackend {
 };
 
 /// Message-interval IDS (Song et al. [11]) with time-based windowing.
-class IntervalBackend final : public DetectorBackend {
+class IntervalBackend final : public DetectorBackend,
+                              public TrainableBackend {
  public:
   /// With a pre-trained `model` (frozen learned periods, pristine runtime
   /// state), detection starts immediately; with nullptr the backend trains
@@ -117,6 +136,15 @@ class IntervalBackend final : public DetectorBackend {
   [[nodiscard]] DetectorInfo describe() const override;
   [[nodiscard]] std::unique_ptr<DetectorBackend> clone_for_stream(
       std::vector<std::uint32_t> id_pool = {}) const override;
+
+  [[nodiscard]] TrainableBackend* trainable() noexcept override {
+    return this;
+  }
+  [[nodiscard]] std::string_view model_section() const noexcept override;
+  /// Exports the frozen learned periods — pretrained or self-calibrated;
+  /// throws while calibration is still in progress.
+  void export_model(std::ostream& out) const override;
+  void import_model(std::istream& in) override;
 
  private:
   [[nodiscard]] WindowVerdict close_window(util::TimeNs start,

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "can/frame.h"
@@ -75,11 +77,46 @@ struct DetectorInfo {
   bool trained = false;
 };
 
+/// Serialization interface for backends whose trained state can be
+/// persisted to a model::ModelBundle section and restored without a
+/// training pass. Reached through DetectorBackend::trainable() — backends
+/// with no durable trained state (or none yet, e.g. a still-calibrating
+/// baseline) are simply not trainable at that moment.
+class TrainableBackend {
+ public:
+  virtual ~TrainableBackend() = default;
+
+  /// Canonical bundle-section name this backend's model persists under
+  /// (model::kGoldenSection et al. — one section per model kind, shared by
+  /// every instance of the backend).
+  [[nodiscard]] virtual std::string_view model_section() const noexcept = 0;
+
+  /// Serialize the trained model. Throws std::runtime_error when the
+  /// backend holds no trained model yet (self-calibration not finished).
+  virtual void export_model(std::ostream& out) const = 0;
+
+  /// Replace the trained model with a previously exported one. Runtime
+  /// window state restarts pristine; accumulated counters are kept. Throws
+  /// std::runtime_error on a malformed stream.
+  virtual void import_model(std::istream& in) = 0;
+};
+
 /// Polymorphic detector: feed timestamped identifiers, receive window
 /// verdicts. Single-threaded per instance; share nothing mutable.
 class DetectorBackend {
  public:
   virtual ~DetectorBackend() = default;
+
+  /// The serialization interface, when this backend's trained state is
+  /// persistable (nullptr otherwise — the default). Composite backends
+  /// (ensemble) return nullptr: their members' models persist individually
+  /// through the model store.
+  [[nodiscard]] virtual TrainableBackend* trainable() noexcept {
+    return nullptr;
+  }
+  [[nodiscard]] const TrainableBackend* trainable() const noexcept {
+    return const_cast<DetectorBackend*>(this)->trainable();
+  }
 
   /// Feed one frame. Returns the verdict of a window this frame closed, if
   /// any (alerting or not; check verdict.alert).

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -58,9 +59,22 @@ class IntervalIds {
   }
 
   [[nodiscard]] bool trained() const noexcept { return trained_; }
+  [[nodiscard]] const IntervalConfig& config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] std::size_t tracked_ids() const noexcept {
     return learned_.size();
   }
+
+  /// Stream persistence ("canids-interval-model v1", text): config plus the
+  /// frozen learned periods, one `id mean_interval_ns` row per identifier
+  /// in ascending ID order (deterministic bytes for any map layout). Only a
+  /// trained model can be saved; load() returns a trained model with
+  /// pristine runtime state. load() is strict — wrong magic, malformed or
+  /// duplicate rows, a row-count mismatch, and trailing garbage all throw
+  /// std::runtime_error.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static IntervalIds load(std::istream& in);
   /// Bytes of per-ID learned + runtime state (the §V.E storage argument).
   [[nodiscard]] std::size_t state_bytes() const noexcept;
 

@@ -33,11 +33,26 @@ std::string sweep_field(const std::optional<std::uint32_t>& id) {
   return id ? hex_id(*id) : std::string();
 }
 
-/// Did this window overlap the trial's attack interval? The ground truth
-/// every confusion/ROC entry scores against.
+/// Did this window overlap the trial's attack interval(s)? The ground
+/// truth every confusion/ROC entry scores against. Synthetic trials carry
+/// one interval [attack_start, attack_end); capture trials carry the
+/// labeled interval list (possibly empty — a clean recording).
 bool window_is_positive(const metrics::InstrumentedTrial& trial,
                         const metrics::WindowObservation& window) {
+  if (!trial.capture.empty()) {
+    for (const trace::LabelInterval& interval : trial.attack_intervals) {
+      if (interval.overlaps(window.start, window.end)) return true;
+    }
+    return false;
+  }
   return window.start < trial.attack_end && window.end > trial.attack_start;
+}
+
+/// Scenario column value: capture trials have no synthetic scenario.
+std::string scenario_field(const std::string& capture,
+                           attacks::ScenarioKind kind) {
+  return capture.empty() ? std::string(scenario_token(kind))
+                         : std::string("capture");
 }
 
 double f1_of(double precision, double recall) {
@@ -48,7 +63,11 @@ double f1_of(double precision, double recall) {
 std::string json_trial(const metrics::InstrumentedTrial& trial) {
   std::ostringstream out;
   out << "{\"detector\": \"" << json_escape(trial.backend)
-      << "\", \"scenario\": \"" << scenario_token(trial.kind) << "\"";
+      << "\", \"scenario\": \""
+      << scenario_field(trial.capture, trial.kind) << "\"";
+  if (!trial.capture.empty()) {
+    out << ", \"capture\": \"" << json_escape(trial.capture) << "\"";
+  }
   if (trial.single_id) out << ", \"sweep_id\": " << *trial.single_id;
   out << ", \"rate_hz\": " << fmt(trial.frequency_hz)
       << ", \"trial_seed\": " << trial.trial_seed
@@ -74,7 +93,11 @@ std::string json_trial(const metrics::InstrumentedTrial& trial) {
 std::string json_cell(const CampaignCell& cell) {
   std::ostringstream out;
   out << "{\"detector\": \"" << json_escape(cell.detector)
-      << "\", \"scenario\": \"" << scenario_token(cell.kind) << "\"";
+      << "\", \"scenario\": \""
+      << scenario_field(cell.capture, cell.kind) << "\"";
+  if (!cell.capture.empty()) {
+    out << ", \"capture\": \"" << json_escape(cell.capture) << "\"";
+  }
   if (cell.sweep_id) out << ", \"sweep_id\": " << *cell.sweep_id;
   out << ", \"rate_hz\": " << fmt(cell.frequency_hz)
       << ", \"trials\": " << cell.trials
@@ -134,15 +157,22 @@ CampaignReport make_report(CampaignSpec spec,
   report.spec = std::move(spec);
   report.trials = std::move(trials);
 
-  const std::size_t per_cell = static_cast<std::size_t>(report.spec.seeds);
+  // A synthetic cell aggregates the seeds of one grid coordinate; a
+  // capture replays deterministically, so each capture trial is its own
+  // cell.
+  const std::size_t per_cell =
+      report.spec.capture_mode()
+          ? 1
+          : static_cast<std::size_t>(report.spec.seeds);
   for (std::size_t base = 0; base < plan.size(); base += per_cell) {
     const TrialPlan& head = plan[base];
     CampaignCell cell;
     cell.detector = head.detector;
     cell.kind = head.kind;
     cell.sweep_id = head.sweep_id;
+    cell.capture = head.capture;
     cell.frequency_hz = head.frequency_hz;
-    cell.trials = report.spec.seeds;
+    cell.trials = static_cast<int>(per_cell);
 
     double latency_sum_seconds = 0.0;
     double inference_hit_sum = 0.0;
@@ -212,7 +242,8 @@ ScenarioRollup CampaignReport::rollup(std::string_view detector,
   double inference_hit_sum = 0.0;
   std::uint64_t inference_windows = 0;
   for (const metrics::InstrumentedTrial& trial : trials) {
-    if (trial.backend != detector || trial.kind != kind || trial.single_id) {
+    if (trial.backend != detector || trial.kind != kind || trial.single_id ||
+        !trial.capture.empty()) {
       continue;
     }
     ++rollup.trials;
@@ -237,20 +268,22 @@ ScenarioRollup CampaignReport::rollup(std::string_view detector,
 
 void CampaignReport::write_trials_csv(std::ostream& out) const {
   util::CsvWriter csv(
-      out, {"detector", "scenario", "sweep_id", "rate_hz", "seed_index",
-            "trial_seed", "injected_frames", "detected_frames",
+      out, {"detector", "scenario", "capture", "sweep_id", "rate_hz",
+            "seed_index", "trial_seed", "injected_frames", "detected_frames",
             "detection_rate", "tp", "fp", "tn", "fn", "tpr", "fpr",
             "inference_accuracy", "injection_rate_arbitration",
             "injection_rate_success", "injected_transmitted", "bus_load",
             "windows_closed", "windows_evaluated", "alerts",
             "detection_latency_s"});
-  const std::size_t per_cell = static_cast<std::size_t>(spec.seeds);
+  const std::size_t per_cell =
+      spec.capture_mode() ? 1 : static_cast<std::size_t>(spec.seeds);
   for (std::size_t i = 0; i < trials.size(); ++i) {
     const metrics::InstrumentedTrial& trial = trials[i];
     const auto latency = trial.detection_latency();
     csv.write_row(
-        {trial.backend, std::string(scenario_token(trial.kind)),
-         sweep_field(trial.single_id), fmt(trial.frequency_hz),
+        {trial.backend, scenario_field(trial.capture, trial.kind),
+         trial.capture, sweep_field(trial.single_id),
+         fmt(trial.frequency_hz),
          std::to_string(i % per_cell), std::to_string(trial.trial_seed),
          std::to_string(trial.frames.injected_frames),
          std::to_string(trial.frames.detected_frames),
@@ -274,13 +307,14 @@ void CampaignReport::write_trials_csv(std::ostream& out) const {
 
 void CampaignReport::write_cells_csv(std::ostream& out) const {
   util::CsvWriter csv(
-      out, {"detector", "scenario", "sweep_id", "rate_hz", "trials",
-            "detection_rate", "tpr", "fpr", "precision", "f1",
+      out, {"detector", "scenario", "capture", "sweep_id", "rate_hz",
+            "trials", "detection_rate", "tpr", "fpr", "precision", "f1",
             "inference_accuracy", "mean_injection_rate_arbitration",
             "mean_injection_rate_success", "mean_bus_load", "detected_trials",
             "mean_detection_latency_s", "auc"});
   for (const CampaignCell& cell : cells) {
-    csv.write_row({cell.detector, std::string(scenario_token(cell.kind)),
+    csv.write_row({cell.detector, scenario_field(cell.capture, cell.kind),
+                   cell.capture,
                    sweep_field(cell.sweep_id), fmt(cell.frequency_hz),
                    std::to_string(cell.trials), fmt(cell.detection_rate),
                    fmt(cell.tpr), fmt(cell.fpr), fmt(cell.precision),
@@ -294,11 +328,13 @@ void CampaignReport::write_cells_csv(std::ostream& out) const {
 }
 
 void CampaignReport::write_roc_csv(std::ostream& out) const {
-  util::CsvWriter csv(out, {"detector", "scenario", "sweep_id", "rate_hz",
-                            "scale", "tp", "fp", "tn", "fn", "tpr", "fpr"});
+  util::CsvWriter csv(out, {"detector", "scenario", "capture", "sweep_id",
+                            "rate_hz", "scale", "tp", "fp", "tn", "fn",
+                            "tpr", "fpr"});
   for (const CampaignCell& cell : cells) {
     for (const RocPoint& point : cell.roc) {
-      csv.write_row({cell.detector, std::string(scenario_token(cell.kind)),
+      csv.write_row({cell.detector, scenario_field(cell.capture, cell.kind),
+                     cell.capture,
                      sweep_field(cell.sweep_id), fmt(cell.frequency_hz),
                      fmt(point.scale),
                      std::to_string(point.windows.true_positive),

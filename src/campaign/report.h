@@ -38,6 +38,9 @@ struct CampaignCell {
   std::string detector;
   attacks::ScenarioKind kind{};
   std::optional<std::uint32_t> sweep_id;
+  /// Capture-replay cells: the recorded file this cell scored (one trial
+  /// per cell — a recording replays deterministically). Empty otherwise.
+  std::string capture;
   double frequency_hz = 0.0;
   int trials = 0;
 

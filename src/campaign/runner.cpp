@@ -1,8 +1,10 @@
 #include "campaign/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
@@ -10,6 +12,7 @@
 
 #include "analysis/registry.h"
 #include "ids/golden_template.h"
+#include "trace/trace_io.h"
 
 namespace canids::campaign {
 
@@ -29,6 +32,63 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
     if (!analysis::DetectorRegistry::instance().contains(name)) {
       throw analysis::UnknownDetectorError(
           "campaign spec: unknown detector '" + name + "'");
+    }
+  }
+
+  if (spec_.capture_mode()) {
+    const std::filesystem::path dir(spec_.capture_dir);
+    const std::filesystem::path labels_file =
+        spec_.labels_path.empty() ? dir / "labels.csv"
+                                  : std::filesystem::path(spec_.labels_path);
+    // Resolve the capture list once, here, so the spec embedded in the
+    // report pins the exact files the campaign replayed.
+    const bool scanned = spec_.captures.empty();
+    if (scanned) {
+      if (!std::filesystem::is_directory(dir)) {
+        throw std::invalid_argument("campaign: capture_dir '" +
+                                    spec_.capture_dir +
+                                    "' is not a directory");
+      }
+      const bool labels_exist = std::filesystem::exists(labels_file);
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        // Filesystem equivalence, not lexical comparison: an explicit
+        // --labels path spelled differently (absolute, ./-prefixed) must
+        // still keep the labels CSV out of the capture list.
+        if (labels_exist &&
+            std::filesystem::equivalent(entry.path(), labels_file)) {
+          continue;
+        }
+        spec_.captures.push_back(entry.path().filename().string());
+      }
+      std::sort(spec_.captures.begin(), spec_.captures.end());
+      if (spec_.captures.empty()) {
+        throw std::invalid_argument("campaign: capture_dir '" +
+                                    spec_.capture_dir +
+                                    "' holds no capture files");
+      }
+    }
+    // Ground truth: an explicitly named labels file must exist; the
+    // default path may be absent (every capture scores as clean traffic).
+    if (std::filesystem::exists(labels_file)) {
+      labels_ = trace::read_capture_labels_file(labels_file);
+    } else if (!spec_.labels_path.empty()) {
+      throw std::invalid_argument("campaign: cannot read labels file '" +
+                                  spec_.labels_path + "'");
+    }
+    // Typo guard, but only when WE produced the capture list: a scanned
+    // directory provably holds every file, so an unmatched label is a
+    // mistake. An explicit `captures` subset legitimately runs against a
+    // directory-wide labels file that also covers the excluded recordings.
+    if (scanned) {
+      for (const auto& [capture, intervals] : labels_) {
+        if (std::find(spec_.captures.begin(), spec_.captures.end(),
+                      capture) == spec_.captures.end()) {
+          throw std::invalid_argument(
+              "campaign: labels file names capture '" + capture +
+              "' which is not in the campaign's capture list");
+        }
+      }
     }
   }
 }
@@ -58,6 +118,11 @@ void CampaignRunner::train_once() {
   // their training below.
   master.adopt_models(models_);
 
+  if (!spec_.model_path.empty()) {
+    // Full cold start: every model the bundle carries is adopted; only
+    // pieces the bundle lacks (and a requested backend needs) are trained.
+    master.adopt_models(metrics::SharedModels::from_file(spec_.model_path));
+  }
   if (!spec_.template_path.empty()) {
     std::ifstream in(spec_.template_path);
     if (!in) {
@@ -86,6 +151,12 @@ void CampaignRunner::train_once() {
   if (need_muter) models_.muter = master.muter_model();
   if (need_interval) models_.interval = master.interval_model();
   stats_.train_seconds = elapsed_seconds(started);
+  stats_.training_passes = master.training_passes();
+}
+
+const metrics::SharedModels& CampaignRunner::models() {
+  std::call_once(trained_, [this] { train_once(); });
+  return models_;
 }
 
 CampaignReport CampaignRunner::run() {
@@ -110,14 +181,27 @@ CampaignReport CampaignRunner::run() {
       if (index >= plan.size()) return;
       const TrialPlan& trial = plan[index];
       try {
-        results[index] =
-            trial.sweep_id
-                ? runner.run_instrumented_single_id_trial(
-                      trial.detector, *trial.sweep_id, trial.frequency_hz,
-                      trial.trial_seed)
-                : runner.run_instrumented_trial(trial.detector, trial.kind,
-                                                trial.frequency_hz,
-                                                trial.trial_seed);
+        if (!trial.capture.empty()) {
+          // Capture replay: stream the recorded file through the backend
+          // (constant memory), scored against the sidecar labels.
+          const std::unique_ptr<trace::RecordSource> source =
+              trace::open_trace_source(
+                  std::filesystem::path(spec_.capture_dir) / trial.capture);
+          const auto found = labels_.find(trial.capture);
+          static const std::vector<trace::LabelInterval> kClean;
+          results[index] = runner.run_capture_trial(
+              trial.detector, *source,
+              found != labels_.end() ? found->second : kClean, trial.capture,
+              trial.trial_seed);
+        } else if (trial.sweep_id) {
+          results[index] = runner.run_instrumented_single_id_trial(
+              trial.detector, *trial.sweep_id, trial.frequency_hz,
+              trial.trial_seed);
+        } else {
+          results[index] = runner.run_instrumented_trial(
+              trial.detector, trial.kind, trial.frequency_hz,
+              trial.trial_seed);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -1,10 +1,14 @@
-// Multithreaded campaign execution. The runner trains the shared models
-// exactly once (std::call_once), fans the spec's trial grid out over a
-// worker pool — each worker owns an ExperimentRunner that adopts the shared
-// bundle, so no worker ever re-trains — and aggregates the results in the
-// canonical plan order. Per-trial seeds are fixed by the plan, and every
-// trial writes into its own slot, so the report is byte-identical at any
-// worker count.
+// Multithreaded campaign execution. The runner cold-starts the shared
+// models from a bundle (spec.model_path) or trains them exactly once
+// (std::call_once), fans the spec's trial grid out over a worker pool —
+// each worker owns an ExperimentRunner that adopts the shared bundle, so no
+// worker ever re-trains — and aggregates the results in the canonical plan
+// order. Per-trial seeds are fixed by the plan, and every trial writes into
+// its own slot, so the report is byte-identical at any worker count — and
+// byte-identical between a bundle cold-start and an in-process training run
+// of the same spec (the model persistence round-trips bit-exactly).
+// Capture-replay specs route each trial through the TraceSource layer over
+// the recorded file instead of the synthetic vehicle.
 #pragma once
 
 #include <mutex>
@@ -13,6 +17,7 @@
 #include "campaign/report.h"
 #include "campaign/spec.h"
 #include "metrics/experiment.h"
+#include "trace/capture_labels.h"
 
 namespace canids::campaign {
 
@@ -24,6 +29,9 @@ struct CampaignRunStats {
   int workers = 0;
   double train_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Models actually trained in-process (0 on a full bundle cold-start —
+  /// the "no training happened" guarantee `campaign --model` asserts).
+  std::uint64_t training_passes = 0;
   [[nodiscard]] double trials_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
                               : 0.0;
@@ -52,6 +60,11 @@ class CampaignRunner {
   }
   [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
 
+  /// The shared model set, cold-starting or training it first if needed —
+  /// the handle `campaign --save-models` persists so a later run (or a
+  /// fleet deployment) skips training entirely.
+  [[nodiscard]] const metrics::SharedModels& models();
+
   /// Worker count a spec resolves to on this machine.
   [[nodiscard]] static int resolve_workers(const CampaignSpec& spec,
                                            std::size_t trials);
@@ -60,6 +73,7 @@ class CampaignRunner {
   void train_once();
 
   CampaignSpec spec_;
+  trace::CaptureLabels labels_;
   std::once_flag trained_;
   metrics::SharedModels models_;
   CampaignRunStats stats_;

@@ -334,6 +334,7 @@ CampaignSpec CampaignSpec::smoke() {
 }
 
 std::size_t CampaignSpec::trial_count() const noexcept {
+  if (capture_mode()) return detectors.size() * captures.size();
   const std::size_t axis =
       sweep_ids.empty() ? scenarios.size() : sweep_ids.size();
   return detectors.size() * axis * rates_hz.size() *
@@ -344,19 +345,42 @@ void CampaignSpec::validate() const {
   if (detectors.empty()) {
     throw std::invalid_argument("campaign spec: no detectors");
   }
-  if (scenarios.empty() && sweep_ids.empty()) {
-    throw std::invalid_argument("campaign spec: no scenarios or sweep IDs");
+  if (!template_path.empty() && !model_path.empty()) {
+    throw std::invalid_argument(
+        "campaign spec: template_path and model_path are mutually "
+        "exclusive — the bundle already carries the golden template");
   }
-  if (rates_hz.empty()) {
-    throw std::invalid_argument("campaign spec: no injection rates");
-  }
-  for (const double rate : rates_hz) {
-    if (!(rate > 0.0)) {
-      throw std::invalid_argument("campaign spec: rates must be positive");
+  if (capture_mode()) {
+    // The synthetic-grid axes carry no meaning over recorded traffic;
+    // captures themselves are validated when the runner resolves the
+    // directory (a spec file may leave the list empty).
+    if (capture_dir.empty()) {
+      // Captures without a directory would resolve against the process
+      // CWD — including the default labels.csv path, which could pick up
+      // an unrelated file as ground truth.
+      throw std::invalid_argument(
+          "campaign spec: captures require capture_dir");
     }
-  }
-  if (seeds < 1) {
-    throw std::invalid_argument("campaign spec: seeds must be >= 1");
+    for (const std::string& capture : captures) {
+      if (capture.empty()) {
+        throw std::invalid_argument("campaign spec: empty capture name");
+      }
+    }
+  } else {
+    if (scenarios.empty() && sweep_ids.empty()) {
+      throw std::invalid_argument("campaign spec: no scenarios or sweep IDs");
+    }
+    if (rates_hz.empty()) {
+      throw std::invalid_argument("campaign spec: no injection rates");
+    }
+    for (const double rate : rates_hz) {
+      if (!(rate > 0.0)) {
+        throw std::invalid_argument("campaign spec: rates must be positive");
+      }
+    }
+    if (seeds < 1) {
+      throw std::invalid_argument("campaign spec: seeds must be >= 1");
+    }
   }
   if (threshold_scales.empty()) {
     throw std::invalid_argument("campaign spec: no threshold scales");
@@ -394,6 +418,27 @@ std::vector<TrialPlan> CampaignSpec::plan() const {
   validate();
   std::vector<TrialPlan> plans;
   plans.reserve(trial_count());
+  if (capture_mode()) {
+    if (captures.empty()) {
+      throw std::invalid_argument(
+          "campaign spec: capture mode but no captures resolved — point "
+          "capture_dir at a directory with trace files");
+    }
+    // Captures replay deterministically, so one trial per detector x
+    // capture; the trial seed is the capture index (stable under
+    // re-ordering of the detector axis).
+    for (const std::string& detector : detectors) {
+      for (std::size_t c = 0; c < captures.size(); ++c) {
+        TrialPlan trial;
+        trial.index = plans.size();
+        trial.detector = detector;
+        trial.capture = captures[c];
+        trial.trial_seed = c;
+        plans.push_back(std::move(trial));
+      }
+    }
+    return plans;
+  }
   const bool sweep = !sweep_ids.empty();
   const std::size_t axis = sweep ? sweep_ids.size() : scenarios.size();
   for (const std::string& detector : detectors) {
@@ -495,6 +540,14 @@ CampaignSpec CampaignSpec::from_json(std::string_view text) {
       spec.experiment.vehicle.period_scale = as_number(key, value);
     } else if (key == "template_path") {
       spec.template_path = as_string(key, value);
+    } else if (key == "model_path") {
+      spec.model_path = as_string(key, value);
+    } else if (key == "capture_dir") {
+      spec.capture_dir = as_string(key, value);
+    } else if (key == "captures") {
+      spec.captures = as_string_array(key, value);
+    } else if (key == "labels_path") {
+      spec.labels_path = as_string(key, value);
     } else if (key == "threshold_scales") {
       spec.threshold_scales = as_number_array(key, value);
     } else if (key == "workers") {
@@ -550,8 +603,21 @@ std::string CampaignSpec::to_json() const {
       << (experiment.pipeline.window.track_pairs ? "true" : "false") << ",\n";
   out << "  \"period_scale\": " << json_number(experiment.vehicle.period_scale)
       << ",\n";
-  if (!template_path.empty()) {
-    out << "  \"template_path\": \"" << json_escape(template_path) << "\",\n";
+  // `template_path`/`model_path` are deliberately NOT serialized: like
+  // `workers` below, where the models came from is an execution knob, and
+  // a bundle cold-start must produce a byte-identical report to the
+  // train-in-process run of the same spec. (from_json still accepts both
+  // keys, so spec files can request a cold start.)
+  if (capture_mode()) {
+    out << "  \"capture_dir\": \"" << json_escape(capture_dir) << "\",\n";
+    out << "  \"captures\": [";
+    for (std::size_t i = 0; i < captures.size(); ++i) {
+      out << (i ? ", " : "") << '"' << json_escape(captures[i]) << '"';
+    }
+    out << "],\n";
+    if (!labels_path.empty()) {
+      out << "  \"labels_path\": \"" << json_escape(labels_path) << "\",\n";
+    }
   }
   // `workers` is deliberately NOT serialized: it is an execution knob (like
   // wall time), and report artifacts must stay byte-identical between

@@ -38,6 +38,10 @@ struct TrialPlan {
   attacks::ScenarioKind kind{};
   /// Set in single-ID sweep mode; the trial injects this identifier.
   std::optional<std::uint32_t> sweep_id;
+  /// Set in capture-replay mode; the recorded capture this trial replays
+  /// (file name inside the spec's capture_dir). kind/frequency carry no
+  /// meaning for such trials.
+  std::string capture;
   double frequency_hz = 0.0;
   int seed_index = 0;
   std::uint64_t trial_seed = 0;
@@ -63,8 +67,35 @@ struct CampaignSpec {
   metrics::ExperimentConfig experiment;
 
   /// Optional pretrained golden template (cold start — the campaign loads
-  /// it instead of training in-process).
+  /// it instead of training in-process). Legacy: model_path supersedes it.
   std::string template_path;
+
+  /// Optional pretrained model bundle (see model::ModelBundle): the
+  /// campaign cold-starts EVERY detector from it and performs zero
+  /// training passes when the bundle covers all models the requested
+  /// detectors need. Mutually exclusive with template_path.
+  std::string model_path;
+
+  // ---- capture-replay mode -------------------------------------------------
+  /// When set, the campaign replays recorded captures from this directory
+  /// instead of driving the synthetic vehicle: the trial grid becomes
+  /// detector x capture (scenarios/sweep_ids/rates_hz/seeds are unused),
+  /// scored against the attack-window labels in labels_path.
+  std::string capture_dir;
+  /// Capture file names inside capture_dir, in trial order. Left empty in
+  /// a spec file, the runner fills it by scanning capture_dir (sorted,
+  /// labels file excluded) — after which the spec embedded in the report
+  /// pins the exact file list.
+  std::vector<std::string> captures;
+  /// Attack-window sidecar CSV (see trace::read_capture_labels). Empty
+  /// means capture_dir/labels.csv, and in that default case a missing file
+  /// labels every capture clean.
+  std::string labels_path;
+
+  /// True when this spec replays recorded captures.
+  [[nodiscard]] bool capture_mode() const noexcept {
+    return !capture_dir.empty() || !captures.empty();
+  }
 
   /// Detector-sensitivity multipliers swept for the ROC curve (windows are
   /// re-judged at score >= scale). The native operating point is scale 1;

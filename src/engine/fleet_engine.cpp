@@ -87,6 +87,19 @@ FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
           }(),
           config) {}
 
+FleetEngine::FleetEngine(const model::StoredModels& models,
+                         std::string_view detector,
+                         analysis::DetectorOptions options,
+                         FleetConfig config)
+    : FleetEngine(
+          [&]() -> std::unique_ptr<analysis::DetectorBackend> {
+            if (models.golden) options.golden = models.golden;
+            if (models.muter) options.muter_model = models.muter;
+            if (models.interval) options.interval_model = models.interval;
+            return analysis::make_detector(detector, options);
+          }(),
+          config) {}
+
 FleetEngine::~FleetEngine() {
   if (started_ && !finished_) {
     abort_.store(true, std::memory_order_release);

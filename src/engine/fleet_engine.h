@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "analysis/detector_backend.h"
+#include "analysis/registry.h"
 #include "engine/alert_sink.h"
 #include "engine/spsc_queue.h"
 #include "ids/pipeline.h"
+#include "model/store.h"
 #include "trace/trace_source.h"
 
 namespace canids::engine {
@@ -104,6 +106,16 @@ class FleetEngine {
   /// template, configured by config.pipeline — the pre-redesign signature.
   explicit FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
                        FleetConfig config = {});
+
+  /// Cold start from persisted models (a loaded bundle): builds the named
+  /// registry backend with every model the bundle carries as pretrained
+  /// shared state — no stream self-calibrates a model the bundle already
+  /// has. `options` supplies the remaining knobs (windowing, alpha, id
+  /// pool); its golden/muter_model/interval_model slots are overridden by
+  /// the bundle's non-null entries. Throws UnknownDetectorError /
+  /// std::invalid_argument exactly like analysis::make_detector.
+  FleetEngine(const model::StoredModels& models, std::string_view detector,
+              analysis::DetectorOptions options, FleetConfig config = {});
   ~FleetEngine();
 
   FleetEngine(const FleetEngine&) = delete;

@@ -66,16 +66,33 @@ GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
   GoldenTemplate tpl;
   tpl.width = 0;
   std::size_t rows = 0;
+  bool saw_training_windows = false;
+
+  // Rejects trailing tokens after a parsed line — "width 11 junk" or a
+  // data row with an eighth column would otherwise load as if the junk
+  // weren't there, hiding a corrupted or mis-concatenated file.
+  auto require_fully_consumed = [](std::istringstream& ls,
+                                   const std::string& l) {
+    std::string extra;
+    if (ls >> extra) {
+      throw std::runtime_error(
+          "golden template: trailing garbage in line '" + l + "'");
+    }
+  };
 
   auto parse_header = [&](const std::string& l) {
     std::istringstream ls(l);
     std::string key;
     ls >> key;
     if (key == "width") {
+      if (tpl.width != 0) {
+        throw std::runtime_error("golden template: duplicate width header");
+      }
       ls >> tpl.width;
       if (!ls || tpl.width <= 0 || tpl.width > 32) {
         throw std::runtime_error("golden template: bad width");
       }
+      require_fully_consumed(ls, l);
       tpl.mean_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
       tpl.min_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
       tpl.max_entropy.assign(static_cast<std::size_t>(tpl.width), 0.0);
@@ -85,8 +102,14 @@ GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
       return true;
     }
     if (key == "training_windows") {
+      if (saw_training_windows) {
+        throw std::runtime_error(
+            "golden template: duplicate training_windows header");
+      }
+      saw_training_windows = true;
       ls >> tpl.training_windows;
       if (!ls) throw std::runtime_error("golden template: bad window count");
+      require_fully_consumed(ls, l);
       return true;
     }
     return false;
@@ -118,6 +141,7 @@ GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
         throw std::runtime_error("golden template: bad pair row '" + line +
                                  "'");
       }
+      require_fully_consumed(ls, line);
       const auto idx = static_cast<std::size_t>(pair_index(i, j, tpl.width));
       tpl.mean_pair_probability[idx] = mean_q;
       tpl.min_pair_probability[idx] = min_q;
@@ -132,6 +156,7 @@ GoldenTemplate GoldenTemplate::deserialize(std::string_view text) {
     if (!ls || bit < 0 || bit >= tpl.width) {
       throw std::runtime_error("golden template: bad data row '" + line + "'");
     }
+    require_fully_consumed(ls, line);
     const auto b = static_cast<std::size_t>(bit);
     tpl.mean_entropy[b] = mean_h;
     tpl.min_entropy[b] = min_h;

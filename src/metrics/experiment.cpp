@@ -17,16 +17,103 @@ namespace {
   return util::splitmix64(state);
 }
 
+/// Per-frame attack attribution, drained by timestamp as windows close —
+/// the ONE window-assignment rule shared by the synthetic and capture
+/// trial paths (only the is-this-frame-injected predicate differs: the
+/// attacker-node tag there, the labeled interval here). A frame whose
+/// timestamp reaches the window boundary belongs to the next window.
+class InjectionAttribution {
+ public:
+  void on_frame(util::TimeNs timestamp, bool injected) {
+    pending_.emplace_back(timestamp, injected);
+  }
+
+  /// Injected-frame count of the window ending at `end` (every remaining
+  /// frame when `final_window`).
+  [[nodiscard]] std::uint64_t drain(util::TimeNs end, bool final_window) {
+    std::uint64_t injected = 0;
+    while (!pending_.empty() &&
+           (final_window || pending_.front().first < end)) {
+      if (pending_.front().second) ++injected;
+      pending_.pop_front();
+    }
+    return injected;
+  }
+
+ private:
+  std::deque<std::pair<util::TimeNs, bool>> pending_;
+};
+
+[[nodiscard]] WindowObservation observation_of(
+    const analysis::WindowVerdict& verdict, std::uint64_t injected) {
+  WindowObservation observation;
+  observation.start = verdict.start;
+  observation.end = verdict.end;
+  observation.frames = verdict.frames;
+  observation.injected = injected;
+  observation.evaluated = verdict.evaluated;
+  observation.alert = verdict.alert;
+  observation.metric = verdict.metric;
+  observation.threshold = verdict.threshold;
+  return observation;
+}
+
 }  // namespace
 
 std::optional<util::TimeNs> InstrumentedTrial::detection_latency()
     const noexcept {
+  if (!capture.empty()) {
+    // Capture trials may label several attack intervals: the latency is
+    // measured from the start of the interval the first alerting window
+    // actually overlaps (earliest such interval for a window spanning
+    // more than one). Alerts in unlabeled gaps are false positives, not
+    // detections, and never count; a clean capture has no latency at all.
+    for (const WindowObservation& window : observations) {
+      if (!window.evaluated || !window.alert) continue;
+      for (const trace::LabelInterval& interval : attack_intervals) {
+        // Intervals are sorted by start; overlap implies a positive
+        // window.end - interval.start.
+        if (interval.overlaps(window.start, window.end)) {
+          return window.end - interval.start;
+        }
+      }
+    }
+    return std::nullopt;
+  }
   for (const WindowObservation& window : observations) {
     if (window.evaluated && window.alert && window.end > attack_start) {
       return window.end - attack_start;
     }
   }
   return std::nullopt;
+}
+
+model::StoredModels SharedModels::stored() const {
+  model::StoredModels out;
+  out.golden = golden;
+  out.muter = muter;
+  out.interval = interval;
+  return out;
+}
+
+SharedModels SharedModels::from_stored(const model::StoredModels& stored) {
+  SharedModels models;
+  models.golden = stored.golden;
+  models.muter = stored.muter;
+  models.interval = stored.interval;
+  return models;
+}
+
+model::ModelBundle SharedModels::to_bundle() const {
+  return model::pack(stored());
+}
+
+SharedModels SharedModels::from_bundle(const model::ModelBundle& bundle) {
+  return from_stored(model::unpack(bundle));
+}
+
+SharedModels SharedModels::from_file(const std::filesystem::path& path) {
+  return from_stored(model::load_models_file(path));
 }
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
@@ -43,6 +130,7 @@ const ids::GoldenTemplate& ExperimentRunner::train() {
 
 std::shared_ptr<const ids::GoldenTemplate> ExperimentRunner::train_shared() {
   if (golden_) return golden_;
+  ++training_passes_;
 
   const util::TimeNs window = config_.pipeline.window.duration;
   const std::size_t per_behavior =
@@ -187,31 +275,16 @@ InstrumentedTrial ExperimentRunner::run_instrumented_attack(
   const util::TimeNs attack_end = result.attack_end;
   const bool inferable = attacks::scenario_inferable(attack.kind);
 
-  // Per frame in bus order: (timestamp, came from the attacker). Drained by
-  // timestamp as windows close, so the attribution works for any backend's
-  // frame accounting (including ones that drop frames).
-  std::deque<std::pair<util::TimeNs, bool>> pending_injected;
+  // Per frame in bus order: came from the attacker? Drained by timestamp
+  // as windows close, so the attribution works for any backend's frame
+  // accounting (including ones that drop frames).
+  InjectionAttribution attribution;
 
   auto handle_verdict = [&](const analysis::WindowVerdict& verdict,
                             bool final_window) {
-    std::uint64_t injected_in_window = 0;
-    while (!pending_injected.empty() &&
-           (final_window || pending_injected.front().first < verdict.end)) {
-      if (pending_injected.front().second) ++injected_in_window;
-      pending_injected.pop_front();
-    }
-
-    WindowObservation observation;
-    observation.start = verdict.start;
-    observation.end = verdict.end;
-    observation.frames = verdict.frames;
-    observation.injected = injected_in_window;
-    observation.evaluated = verdict.evaluated;
-    observation.alert = verdict.alert;
-    observation.metric = verdict.metric;
-    observation.threshold = verdict.threshold;
-    result.observations.push_back(observation);
-
+    const std::uint64_t injected_in_window =
+        attribution.drain(verdict.end, final_window);
+    result.observations.push_back(observation_of(verdict, injected_in_window));
     if (!verdict.evaluated) return;
 
     const bool overlaps_attack =
@@ -232,8 +305,8 @@ InstrumentedTrial ExperimentRunner::run_instrumented_attack(
   };
 
   bus.add_listener([&](const can::TimedFrame& frame) {
-    pending_injected.emplace_back(frame.timestamp,
-                                  frame.source_node == attacker_index);
+    attribution.on_frame(frame.timestamp,
+                         frame.source_node == attacker_index);
     if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
       handle_verdict(*verdict, /*final_window=*/false);
     }
@@ -289,9 +362,86 @@ InstrumentedTrial ExperimentRunner::run_instrumented_single_id_trial(
   return trial;
 }
 
+InstrumentedTrial ExperimentRunner::run_capture_trial(
+    std::string_view backend_name, trace::TraceSource& source,
+    const std::vector<trace::LabelInterval>& attacks,
+    std::string capture_name, std::uint64_t trial_seed) {
+  CANIDS_EXPECTS(!capture_name.empty());
+
+  InstrumentedTrial result;
+  result.backend = std::string(backend_name);
+  result.capture = std::move(capture_name);
+  result.trial_seed = trial_seed;
+  result.attack_intervals = attacks;
+  if (!attacks.empty()) {
+    result.attack_start = attacks.front().start;
+    result.attack_end = attacks.front().end;
+    for (const trace::LabelInterval& interval : attacks) {
+      result.attack_end = std::max(result.attack_end, interval.end);
+    }
+  }
+
+  const std::unique_ptr<analysis::DetectorBackend> backend =
+      make_backend(backend_name);
+
+  // Per frame in capture order: did it fall inside a labeled attack
+  // interval? The label stands in for the attacker-node tag recorded
+  // traffic cannot carry; the window-assignment rule itself is the one the
+  // synthetic trials use (InjectionAttribution).
+  InjectionAttribution attribution;
+  const auto labeled = [&](util::TimeNs timestamp) {
+    for (const trace::LabelInterval& interval : attacks) {
+      if (interval.contains(timestamp)) return true;
+    }
+    return false;
+  };
+
+  auto handle_verdict = [&](const analysis::WindowVerdict& verdict,
+                            bool final_window) {
+    const std::uint64_t injected_in_window =
+        attribution.drain(verdict.end, final_window);
+    result.observations.push_back(observation_of(verdict, injected_in_window));
+    if (!verdict.evaluated) return;
+
+    bool overlaps_attack = false;
+    for (const trace::LabelInterval& interval : attacks) {
+      overlaps_attack =
+          overlaps_attack || interval.overlaps(verdict.start, verdict.end);
+    }
+    result.frames.record_window(injected_in_window, verdict.alert);
+    result.windows.record(overlaps_attack, verdict.alert);
+  };
+
+  // Timestamps are normalized to the capture's first frame before anything
+  // sees them: real candump recordings carry absolute epoch times while
+  // the sidecar labels are capture-relative, and window boundaries are
+  // anchored to the first frame either way (util::WindowClock), so the
+  // shift changes nothing for already-relative recordings beyond making
+  // observations/latency read in capture time.
+  std::optional<util::TimeNs> origin;
+  for (;;) {
+    const std::optional<can::TimedFrame> frame = source.next();
+    if (!frame) break;
+    if (!origin) origin = frame->timestamp;
+    const util::TimeNs timestamp = frame->timestamp - *origin;
+    attribution.on_frame(timestamp, labeled(timestamp));
+    if (auto verdict = backend->on_frame(timestamp, frame->frame.id())) {
+      handle_verdict(*verdict, /*final_window=*/false);
+    }
+  }
+  if (auto verdict = backend->finish()) {
+    handle_verdict(*verdict, /*final_window=*/true);
+  }
+
+  result.detection_rate = result.frames.detection_rate();
+  result.counters = backend->counters();
+  return result;
+}
+
 std::shared_ptr<const baselines::MuterEntropyIds>
 ExperimentRunner::muter_model() {
   if (muter_model_) return muter_model_;
+  ++training_passes_;
   // One accumulator across every behaviour's clean drive, mirroring the
   // pre-redesign CMP8 calibration (seed salt 100 + behaviour index).
   std::vector<baselines::SymbolWindow> training;
@@ -315,6 +465,7 @@ ExperimentRunner::muter_model() {
 std::shared_ptr<const baselines::IntervalIds>
 ExperimentRunner::interval_model() {
   if (interval_model_) return interval_model_;
+  ++training_passes_;
   // Seed salt 200 + behaviour index, mirroring the pre-redesign CMP11
   // calibration.
   baselines::IntervalIds model(config_.interval);

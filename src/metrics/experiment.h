@@ -16,7 +16,10 @@
 #include "attacks/scenario.h"
 #include "ids/pipeline.h"
 #include "metrics/confusion.h"
+#include "model/store.h"
+#include "trace/capture_labels.h"
 #include "trace/synthetic_vehicle.h"
+#include "trace/trace_source.h"
 
 namespace canids::metrics {
 
@@ -127,11 +130,18 @@ struct InstrumentedTrial {
   attacks::ScenarioKind kind{};
   /// Set when the trial injected one caller-chosen identifier (ID sweep).
   std::optional<std::uint32_t> single_id;
+  /// Set when the trial replayed a recorded capture instead of driving the
+  /// synthetic vehicle (capture-replay campaigns); the capture file name.
+  std::string capture;
   double frequency_hz = 0.0;
   std::uint64_t trial_seed = 0;
   std::vector<std::uint32_t> planned_ids;
   util::TimeNs attack_start = 0;
   util::TimeNs attack_end = 0;
+  /// Labeled attack intervals for capture trials (possibly several per
+  /// recording, possibly none for a clean capture). Empty for synthetic
+  /// trials, whose single interval is [attack_start, attack_end).
+  std::vector<trace::LabelInterval> attack_intervals;
 
   FrameDetection frames;
   WindowConfusion windows;
@@ -173,6 +183,28 @@ struct SharedModels {
   std::vector<ids::WindowSnapshot> training_snapshots;
   std::shared_ptr<const baselines::MuterEntropyIds> muter;
   std::shared_ptr<const baselines::IntervalIds> interval;
+
+  /// The persistable slice of this set (training_snapshots are measurement
+  /// by-products, not a model) — the ONE conversion between the harness's
+  /// shared handles and the model store's.
+  [[nodiscard]] model::StoredModels stored() const;
+  [[nodiscard]] static SharedModels from_stored(
+      const model::StoredModels& stored);
+
+  /// Pack every trained model into a versioned ModelBundle. Throws
+  /// std::invalid_argument when nothing is trained.
+  [[nodiscard]] model::ModelBundle to_bundle() const;
+
+  /// Cold-start bundle load: every section becomes the corresponding
+  /// shared handle. A partial bundle yields a partial SharedModels —
+  /// absent pieces stay lazily trainable wherever the bundle is adopted.
+  [[nodiscard]] static SharedModels from_bundle(
+      const model::ModelBundle& bundle);
+
+  /// As from_bundle, over model::load_models_file (bundle or legacy bare
+  /// golden-template file).
+  [[nodiscard]] static SharedModels from_file(
+      const std::filesystem::path& path);
 };
 
 class ExperimentRunner {
@@ -207,6 +239,15 @@ class ExperimentRunner {
   /// are fine: absent entries remain lazily trainable. Must be called
   /// before anything triggered training on this runner.
   void adopt_models(const SharedModels& models);
+
+  /// Training passes this runner actually performed: one per model built
+  /// from scratch (golden template, Müter band, interval periods). Adopted
+  /// models never count — so a bundle cold-start that covers every model a
+  /// campaign needs reports 0 here, the verifiable "no training happened"
+  /// guarantee.
+  [[nodiscard]] std::uint64_t training_passes() const noexcept {
+    return training_passes_;
+  }
 
   /// Run one attack trial. `trial_seed` individualises the run; the
   /// driving behaviour is rotated from it.
@@ -288,6 +329,24 @@ class ExperimentRunner {
       std::string_view backend, std::uint32_t id, double frequency_hz,
       std::uint64_t trial_seed);
 
+  // ---- capture-replay trials ----------------------------------------------
+
+  /// Replay a recorded capture through any registered backend instead of
+  /// driving the synthetic vehicle. Timestamps are normalized to the
+  /// capture's first frame, so recordings with absolute epoch times score
+  /// correctly against the capture-relative label intervals. Ground truth
+  /// comes from `attacks` (the sidecar label intervals; empty = a clean
+  /// capture): a window is positive when it overlaps any labeled
+  /// interval, and a frame counts as injected when its timestamp falls
+  /// inside one (an attribution proxy — recorded traffic has no per-frame
+  /// attacker tag). Injection-rate and bus-load fields stay 0; ROC
+  /// observations and detection latency work exactly as in synthetic
+  /// trials.
+  [[nodiscard]] InstrumentedTrial run_capture_trial(
+      std::string_view backend, trace::TraceSource& source,
+      const std::vector<trace::LabelInterval>& attacks,
+      std::string capture_name, std::uint64_t trial_seed);
+
  private:
   [[nodiscard]] InstrumentedTrial run_instrumented_attack(
       std::string_view backend, attacks::BuiltAttack attack,
@@ -307,6 +366,7 @@ class ExperimentRunner {
   std::vector<ids::WindowSnapshot> training_snapshots_;
   std::shared_ptr<const baselines::MuterEntropyIds> muter_model_;
   std::shared_ptr<const baselines::IntervalIds> interval_model_;
+  std::uint64_t training_passes_ = 0;
 };
 
 }  // namespace canids::metrics

@@ -1,0 +1,95 @@
+#include "trace/capture_labels.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace canids::trace {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+  throw std::runtime_error("capture labels: line " +
+                           std::to_string(line_number) + ": " + what);
+}
+
+double parse_seconds(std::size_t line_number, const std::string& field,
+                     const char* what) {
+  double value = 0.0;
+  if (!util::parse_double_strict(field, value)) {
+    fail(line_number, std::string("malformed ") + what + " '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+CaptureLabels read_capture_labels(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+
+  // Header row is mandatory: it makes the file self-describing and catches
+  // a stray trace file handed in as labels.
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("capture labels: empty file");
+  }
+  ++line_number;
+  const std::vector<std::string> header = util::split_csv_line(line);
+  if (header.size() != 3 ||
+      util::trim(header[0]) != "capture" ||
+      util::trim(header[1]) != "start_seconds" ||
+      util::trim(header[2]) != "end_seconds") {
+    fail(line_number,
+         "expected header 'capture,start_seconds,end_seconds', got '" + line +
+             "'");
+  }
+
+  CaptureLabels labels;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    const std::vector<std::string> fields = util::split_csv_line(line);
+    if (fields.size() != 3) {
+      fail(line_number, "expected 3 fields, got " +
+                            std::to_string(fields.size()));
+    }
+    const std::string capture(util::trim(fields[0]));
+    if (capture.empty()) fail(line_number, "empty capture name");
+    const double start_s =
+        parse_seconds(line_number, fields[1], "start_seconds");
+    const double end_s = parse_seconds(line_number, fields[2], "end_seconds");
+    // Bound BEFORE converting: seconds * 1e9 on an unbounded double is an
+    // out-of-int64-range cast (UB), not a diagnosable parse error. 1e9
+    // seconds (~31 years of capture time) is far beyond any real trace.
+    constexpr double kMaxSeconds = 1e9;
+    if (start_s < 0.0 || end_s <= start_s || end_s > kMaxSeconds) {
+      fail(line_number,
+           "interval must satisfy 0 <= start < end <= 1e9 seconds");
+    }
+    LabelInterval interval;
+    interval.start = util::from_seconds(start_s);
+    interval.end = util::from_seconds(end_s);
+    labels[capture].push_back(interval);
+  }
+
+  for (auto& [capture, intervals] : labels) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const LabelInterval& a, const LabelInterval& b) {
+                return a.start < b.start;
+              });
+  }
+  return labels;
+}
+
+CaptureLabels read_capture_labels_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read capture labels " + path.string());
+  }
+  return read_capture_labels(in);
+}
+
+}  // namespace canids::trace

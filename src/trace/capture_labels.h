@@ -1,0 +1,57 @@
+// Attack-window labels for recorded captures — the ground-truth sidecar a
+// capture-replay campaign scores against (the role the attacker node's
+// start/stop config plays for synthetic trials). One CSV file labels a
+// whole capture directory:
+//
+//   capture,start_seconds,end_seconds
+//   drive_attacked.log,3.0,9.0
+//   drive_attacked.log,11.5,12.0
+//
+// Times are capture-relative seconds, measured from the capture's first
+// frame (replay normalizes absolute epoch timestamps to that origin). A
+// capture absent from the file is clean (every window negative); a capture
+// may carry several intervals.
+// Parsing is strict — a missing header, short row, malformed number, or
+// an interval with end <= start throws with the offending line number.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace canids::trace {
+
+/// One labeled attack interval, capture-relative: [start, end).
+struct LabelInterval {
+  util::TimeNs start = 0;
+  util::TimeNs end = 0;
+
+  [[nodiscard]] bool contains(util::TimeNs t) const noexcept {
+    return t >= start && t < end;
+  }
+  /// Overlap with a half-open window [window_start, window_end).
+  [[nodiscard]] bool overlaps(util::TimeNs window_start,
+                              util::TimeNs window_end) const noexcept {
+    return window_start < end && window_end > start;
+  }
+
+  friend bool operator==(const LabelInterval&, const LabelInterval&) = default;
+};
+
+/// Capture file name (as written in the CSV) -> its attack intervals,
+/// sorted by start time.
+using CaptureLabels = std::map<std::string, std::vector<LabelInterval>>;
+
+/// Parse the sidecar CSV. Throws std::runtime_error on malformed input.
+[[nodiscard]] CaptureLabels read_capture_labels(std::istream& in);
+
+/// Parse the sidecar CSV file. Throws std::runtime_error when the file
+/// cannot be opened or parsed.
+[[nodiscard]] CaptureLabels read_capture_labels_file(
+    const std::filesystem::path& path);
+
+}  // namespace canids::trace

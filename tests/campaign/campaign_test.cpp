@@ -11,6 +11,9 @@
 #include "campaign/spec.h"
 #include "ids/golden_template.h"
 #include "metrics/experiment.h"
+#include "model/bundle.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
 
 namespace canids::campaign {
 namespace {
@@ -379,6 +382,264 @@ TEST(CampaignRunnerTest, ColdStartsFromSavedTemplate) {
   missing.template_path = "/nonexistent/template.tpl";
   CampaignRunner missing_runner(missing);
   EXPECT_THROW((void)missing_runner.run(), std::runtime_error);
+}
+
+// ---- model-bundle cold start -----------------------------------------------
+
+TEST(CampaignRunnerTest, BundleColdStartMatchesTrainingForEveryBackend) {
+  // Every registered backend in one grid; short drives keep it fast.
+  CampaignSpec spec = quick_spec();
+  spec.detectors = analysis::DetectorRegistry::instance().names();
+  spec.seeds = 1;
+
+  // In-process training run, whose models become the bundle...
+  CampaignRunner warm_runner(spec);
+  const CampaignReport warm = warm_runner.run();
+  EXPECT_GT(warm_runner.stats().training_passes, 0u);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "canids_campaign_bundle_test";
+  {
+    std::ofstream out(path, std::ios::binary);
+    warm_runner.models().to_bundle().save(out);
+  }
+
+  // ...and the bundle cold-start must reproduce it byte-for-byte with
+  // ZERO training passes (the training counters are the proof).
+  CampaignSpec cold = spec;
+  cold.model_path = path.string();
+  CampaignRunner cold_runner(cold);
+  const CampaignReport cold_report = cold_runner.run();
+  EXPECT_EQ(cold_runner.stats().training_passes, 0u);
+  EXPECT_EQ(report_bytes(cold_report), report_bytes(warm));
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignSpecTest, ModelAndTemplatePathsAreMutuallyExclusive) {
+  CampaignSpec spec = quick_spec();
+  spec.model_path = "bundle.canids";
+  spec.template_path = "golden.tpl";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// ---- capture-replay campaigns ----------------------------------------------
+
+/// Record a 12 s city drive with a single-ID injection active over
+/// [3 s, 9 s) — the attacked half of the capture fixture.
+void record_attacked_capture(const std::filesystem::path& path,
+                             const trace::SyntheticVehicle& vehicle) {
+  can::BusSimulator bus(vehicle.config().bus);
+  vehicle.attach_to(bus, trace::DrivingBehavior::kCity, 7);
+  attacks::AttackConfig attack_config;
+  attack_config.frequency_hz = 100.0;
+  attack_config.start = 3 * util::kSecond;
+  attack_config.stop = 9 * util::kSecond;
+  attacks::BuiltAttack attack = attacks::make_scenario(
+      attacks::ScenarioKind::kSingle, vehicle, attack_config, util::Rng(7));
+  bus.add_node(std::move(attack.node));
+  trace::TraceRecorder recorder(bus);
+  bus.run_until(12 * util::kSecond);
+  trace::save_trace_file(path, recorder.trace(),
+                         trace::TraceFormat::kCandump);
+}
+
+struct CaptureFixture {
+  std::filesystem::path dir;
+
+  CaptureFixture() {
+    dir = std::filesystem::temp_directory_path() / "canids_capture_campaign";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const trace::SyntheticVehicle vehicle;
+    record_attacked_capture(dir / "attacked.log", vehicle);
+    trace::save_trace_file(dir / "clean.log",
+                           vehicle.record_trace(trace::DrivingBehavior::kCity,
+                                                10 * util::kSecond, 21),
+                           trace::TraceFormat::kCandump);
+    std::ofstream labels(dir / "labels.csv");
+    labels << "capture,start_seconds,end_seconds\nattacked.log,3.0,9.0\n";
+  }
+  ~CaptureFixture() { std::filesystem::remove_all(dir); }
+
+  [[nodiscard]] CampaignSpec spec() const {
+    CampaignSpec out;
+    out.name = "capture-replay";
+    out.detectors = {"bit-entropy", "interval"};
+    out.capture_dir = dir.string();
+    out.experiment.training_windows = 8;
+    return out;
+  }
+};
+
+TEST(CaptureCampaignTest, ReplaysRecordedTracesAgainstSidecarLabels) {
+  const CaptureFixture fixture;
+  CampaignRunner runner(fixture.spec());
+  // The runner resolved the directory scan into the spec (labels file
+  // excluded, sorted).
+  ASSERT_EQ(runner.spec().captures,
+            (std::vector<std::string>{"attacked.log", "clean.log"}));
+
+  const CampaignReport report = runner.run();
+  ASSERT_EQ(report.cells.size(), 4u);  // 2 detectors x 2 captures
+  for (const CampaignCell& cell : report.cells) {
+    ASSERT_FALSE(cell.capture.empty());
+    const bool attacked = cell.capture == "attacked.log";
+    if (attacked) {
+      // The labeled 3–9 s injection must be caught: attack windows exist,
+      // most are flagged, and the latency is measurable.
+      EXPECT_GT(cell.windows.true_positive + cell.windows.false_negative, 0u)
+          << cell.detector;
+      EXPECT_GT(cell.tpr, 0.5) << cell.detector;
+      EXPECT_TRUE(cell.mean_latency_seconds.has_value()) << cell.detector;
+    } else {
+      // The clean capture has no positive windows at all.
+      EXPECT_EQ(cell.windows.true_positive + cell.windows.false_negative, 0u)
+          << cell.detector;
+      EXPECT_LT(cell.fpr, 0.5) << cell.detector;
+    }
+  }
+
+  // Per-cell TPR/FPR/latency CSV artifacts carry the capture column.
+  std::ostringstream cells_csv;
+  report.write_cells_csv(cells_csv);
+  EXPECT_NE(cells_csv.str().find("attacked.log"), std::string::npos);
+  EXPECT_NE(cells_csv.str().find("clean.log"), std::string::npos);
+  std::ostringstream roc_csv;
+  report.write_roc_csv(roc_csv);
+  EXPECT_NE(roc_csv.str().find("attacked.log"), std::string::npos);
+}
+
+TEST(CaptureCampaignTest, ReportIsByteIdenticalAtAnyWorkerCount) {
+  const CaptureFixture fixture;
+  CampaignSpec one = fixture.spec();
+  one.workers = 1;
+  CampaignSpec four = fixture.spec();
+  four.workers = 4;
+  CampaignRunner runner_one(one);
+  CampaignRunner runner_four(four);
+  EXPECT_EQ(report_bytes(runner_one.run()), report_bytes(runner_four.run()));
+}
+
+TEST(CaptureCampaignTest, SpecJsonRoundTripsCaptureFields) {
+  CampaignSpec spec;
+  spec.detectors = {"interval"};
+  spec.capture_dir = "/data/fleet";
+  spec.captures = {"a.log", "b.log"};
+  spec.labels_path = "/data/fleet/truth.csv";
+  const CampaignSpec restored = CampaignSpec::from_json(spec.to_json());
+  EXPECT_EQ(restored.capture_dir, spec.capture_dir);
+  EXPECT_EQ(restored.captures, spec.captures);
+  EXPECT_EQ(restored.labels_path, spec.labels_path);
+  EXPECT_TRUE(restored.capture_mode());
+}
+
+TEST(CaptureCampaignTest, ExplicitLabelsPathNeverScansAsACapture) {
+  const CaptureFixture fixture;
+  CampaignSpec spec = fixture.spec();
+  // Same labels file, spelled as an absolute path instead of the default
+  // capture_dir-relative one — it must still be excluded from the scan.
+  spec.labels_path = (fixture.dir / "labels.csv").string();
+  CampaignRunner runner(spec);
+  EXPECT_EQ(runner.spec().captures,
+            (std::vector<std::string>{"attacked.log", "clean.log"}));
+}
+
+TEST(CaptureCampaignTest, MultiIntervalLatencyAnchorsToTheOverlappedInterval) {
+  // Hand-built capture trial: attacks labeled at [3 s, 4 s) and
+  // [100 s, 101 s). The first burst is missed, a FALSE positive fires in
+  // the unlabeled gap at [50 s, 51 s), and the second burst is caught at
+  // [100 s, 101 s) — the latency must be 1 s from the SECOND interval's
+  // start, not 98 s from the first's, and the gap alert must not count.
+  metrics::InstrumentedTrial trial;
+  trial.backend = "interval";
+  trial.capture = "drive.log";
+  trial.attack_intervals = {{util::from_seconds(3), util::from_seconds(4)},
+                            {util::from_seconds(100),
+                             util::from_seconds(101)}};
+  trial.attack_start = util::from_seconds(3);
+  trial.attack_end = util::from_seconds(101);
+  trial.observations = {
+      window(util::from_seconds(3), util::from_seconds(4), true, false, 0.2,
+             1.0),  // first burst missed
+      window(util::from_seconds(50), util::from_seconds(51), true, true, 1.2,
+             1.0),  // false positive in the unlabeled gap
+      window(util::from_seconds(100), util::from_seconds(101), true, true,
+             2.0, 1.0),  // second burst caught
+  };
+  const auto latency = trial.detection_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, util::from_seconds(1.0));
+
+  // All alerts in unlabeled gaps -> no detection at all.
+  trial.observations[2].alert = false;
+  EXPECT_FALSE(trial.detection_latency().has_value());
+}
+
+TEST(CaptureCampaignTest, EpochTimestampsNormalizeToCaptureStart) {
+  // Real candump recordings carry absolute epoch timestamps while labels
+  // are capture-relative; replay must normalize to the first frame or an
+  // attacked recording silently scores all-negative.
+  metrics::ExperimentConfig config;
+  config.training_windows = 6;
+  metrics::ExperimentRunner runner(config);
+
+  constexpr util::TimeNs kEpoch = 1'436'509'052 * util::kSecond;
+  std::vector<can::TimedFrame> frames;
+  for (int i = 0; i < 500; ++i) {  // 10 ms cadence -> 5 s of traffic
+    frames.push_back(can::TimedFrame{
+        kEpoch + static_cast<util::TimeNs>(i) * 10 * util::kMillisecond,
+        can::Frame::data_frame(can::CanId::standard(0x123), {}),
+        can::TimedFrame::kUnknownSource});
+  }
+  trace::MemorySource source(std::move(frames));
+  const metrics::InstrumentedTrial trial = runner.run_capture_trial(
+      "interval", source,
+      {{3 * util::kSecond, 4 * util::kSecond}},  // capture-relative label
+      "epoch.log", 0);
+
+  // The labeled window must land inside the capture: positive windows
+  // exist, and the observations read in capture time, not epoch time.
+  EXPECT_GT(trial.windows.true_positive + trial.windows.false_negative, 0u);
+  ASSERT_FALSE(trial.observations.empty());
+  EXPECT_LT(trial.observations.back().end, 10 * util::kSecond);
+}
+
+TEST(CaptureCampaignTest, ExplicitSubsetMayUseDirectoryWideLabels) {
+  // A labels.csv covering the whole dataset must not block a campaign
+  // over an explicit subset of its captures.
+  const CaptureFixture fixture;
+  {
+    std::ofstream labels(fixture.dir / "labels.csv");
+    labels << "capture,start_seconds,end_seconds\n"
+              "attacked.log,3.0,9.0\n"
+              "not-in-this-run.log,1.0,2.0\n";
+  }
+  CampaignSpec spec = fixture.spec();
+  spec.captures = {"attacked.log"};
+  CampaignRunner runner(spec);
+  EXPECT_EQ(runner.spec().trial_count(), spec.detectors.size());
+}
+
+TEST(CaptureCampaignTest, CapturesWithoutDirAreRejected) {
+  CampaignSpec spec;
+  spec.detectors = {"interval"};
+  spec.captures = {"a.log"};  // no capture_dir: would resolve against CWD
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(CaptureCampaignTest, RejectsLabelsForUnknownCapturesAndBadDirs) {
+  const CaptureFixture fixture;
+  CampaignSpec spec = fixture.spec();
+  // Labels naming a capture outside the campaign would silently score
+  // nothing — reject instead.
+  {
+    std::ofstream labels(fixture.dir / "labels.csv");
+    labels << "capture,start_seconds,end_seconds\nghost.log,1.0,2.0\n";
+  }
+  EXPECT_THROW(CampaignRunner{spec}, std::invalid_argument);
+
+  CampaignSpec bad_dir = fixture.spec();
+  bad_dir.capture_dir = "/nonexistent/captures";
+  EXPECT_THROW(CampaignRunner{bad_dir}, std::invalid_argument);
 }
 
 TEST(InstrumentedTrialTest, BitEntropyMatchesPaperTrialExactly) {

@@ -189,6 +189,34 @@ TEST(GoldenTemplateTest, DeserializeRejectsIncompletePairRows) {
   EXPECT_THROW((void)GoldenTemplate::deserialize(text), std::runtime_error);
 }
 
+TEST(GoldenTemplateTest, DeserializeRejectsTrailingGarbage) {
+  TemplateBuilder builder;
+  builder.add_window(window_with(0.3));
+  builder.add_window(window_with(0.4));
+  const std::string text = builder.build().serialize();
+
+  // Garbage appended after the last record used to load silently.
+  EXPECT_THROW((void)GoldenTemplate::deserialize(text + "trailing garbage\n"),
+               std::runtime_error);
+  // A duplicate width header after the data used to zero every vector and
+  // still "succeed".
+  EXPECT_THROW((void)GoldenTemplate::deserialize(text + "width 11\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)GoldenTemplate::deserialize(text + "training_windows 99\n"),
+      std::runtime_error);
+  // Extra tokens on a data row used to be ignored.
+  const std::size_t row_start = text.find("\n0 ");
+  ASSERT_NE(row_start, std::string::npos);
+  const std::size_t row_end = text.find('\n', row_start + 1);
+  std::string tampered = text;
+  tampered.insert(row_end, " 42");
+  EXPECT_THROW((void)GoldenTemplate::deserialize(tampered),
+               std::runtime_error);
+  // The untampered text still round-trips.
+  EXPECT_NO_THROW((void)GoldenTemplate::deserialize(text));
+}
+
 TEST(GoldenTemplateTest, RangeAccessorsRejectBadBit) {
   TemplateBuilder builder;
   builder.add_window(window_with(0.5));

@@ -1,0 +1,70 @@
+#include "trace/capture_labels.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace canids::trace {
+namespace {
+
+TEST(CaptureLabelsTest, ParsesMultiIntervalMultiCaptureFiles) {
+  std::istringstream in(
+      "capture,start_seconds,end_seconds\n"
+      "attacked.log,11.5,12.0\n"
+      "attacked.log,3.0,9.0\n"
+      "\n"
+      "other.log,0.5,1.5\n");
+  const CaptureLabels labels = read_capture_labels(in);
+  ASSERT_EQ(labels.size(), 2u);
+  const auto& attacked = labels.at("attacked.log");
+  ASSERT_EQ(attacked.size(), 2u);
+  // Intervals come out sorted by start regardless of file order.
+  EXPECT_EQ(attacked[0].start, util::from_seconds(3.0));
+  EXPECT_EQ(attacked[0].end, util::from_seconds(9.0));
+  EXPECT_EQ(attacked[1].start, util::from_seconds(11.5));
+  EXPECT_TRUE(attacked[0].contains(util::from_seconds(5.0)));
+  EXPECT_FALSE(attacked[0].contains(util::from_seconds(9.0)));  // half-open
+  EXPECT_TRUE(attacked[0].overlaps(util::from_seconds(8.5),
+                                   util::from_seconds(10.0)));
+  EXPECT_FALSE(attacked[0].overlaps(util::from_seconds(9.0),
+                                    util::from_seconds(10.0)));
+}
+
+TEST(CaptureLabelsTest, RejectsMalformedInput) {
+  const auto parse = [](const char* text) {
+    std::istringstream in(text);
+    return read_capture_labels(in);
+  };
+  EXPECT_THROW((void)parse(""), std::runtime_error);
+  EXPECT_THROW((void)parse("wrong,header,row\na.log,1,2\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\na.log,1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\na.log,x,2\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\na.log,2,1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\n,1,2\n"),
+      std::runtime_error);
+  // Finite but astronomically large seconds would overflow the TimeNs
+  // conversion — must be a parse error, not undefined behavior.
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\na.log,0,1e300\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse("capture,start_seconds,end_seconds\na.log,0,1e10\n"),
+      std::runtime_error);
+}
+
+TEST(CaptureLabelsTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_capture_labels_file("/nonexistent/labels.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace canids::trace

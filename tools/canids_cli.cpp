@@ -1,32 +1,38 @@
 // canids — command-line front end to the library.
 //
 //   canids info <capture>                      summarise a CAN log
-//   canids train <template-out> <clean>...     build a golden template
+//   canids train <bundle-out> <clean>...       train every model -> bundle
 //   canids detectors                           list registered detector backends
-//   canids detect <template> <capture>         run an IDS over a capture
+//   canids models inspect <bundle>             describe a model bundle
+//   canids detect <models> <capture>           run an IDS over a capture
 //       [--detector NAME] [--alpha A] [--window SECONDS] [--rank N]
 //       [--no-pairs] [--calibrate N]
-//   canids fleet <template> <dir|capture>...   sharded multi-vehicle analysis
+//   canids fleet <models> <dir|capture>...     sharded multi-vehicle analysis
 //       [--detector NAME] [--shards N] [--producers N] [--alpha A]
 //       [--window S] [--no-pairs] [--calibrate N] [--quiet]
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
 //   canids campaign [spec.json] [--smoke] [--out DIR] [grid flags...]
 //       parallel detector x scenario x rate x seed evaluation sweep with
-//       ROC/AUC + detection-latency reports (CSV + JSON)
+//       ROC/AUC + detection-latency reports (CSV + JSON); with
+//       [--captures DIR [--labels CSV]] the grid replays recorded traces
+//       instead of the synthetic vehicle
 //
-// `train --save PATH` persists the golden template; `detect`/`fleet` accept
-// `--template PATH` in place of the positional template argument, and a
-// campaign spec's `template_path` cold-starts the sweep from a saved model.
-// Captures may be candump logs or Vehicle-Spy-style CSV (auto-detected).
-// `detect` and `fleet` run any backend registered in the DetectorRegistry
-// (default: the paper's bit-entropy detector) through one code path; both
-// exit 0 when the traffic is clean and 2 when intrusions were flagged, so
-// they can gate scripts. Baseline detectors without a separate training
-// capture self-calibrate on the first windows of each stream. Malformed
-// capture lines are counted (and surfaced) instead of aborting the run;
-// unknown flags or detector names print usage / the registry listing and
-// exit 1.
+// `canids train` emits a versioned model bundle carrying every trainable
+// model (golden template + Müter entropy band + interval periods), so a
+// later `detect`/`fleet`/`campaign --model BUNDLE` cold-starts ANY backend
+// with zero training; a bare legacy golden-template file still loads
+// anywhere a bundle is accepted. `campaign --save-models PATH` persists the
+// models a campaign trained; `--model`/`--template` are both accepted on
+// detect/fleet in place of the positional models argument. Captures may be
+// candump logs or Vehicle-Spy-style CSV (auto-detected). `detect` and
+// `fleet` run any backend registered in the DetectorRegistry (default: the
+// paper's bit-entropy detector) through one code path; both exit 0 when
+// the traffic is clean and 2 when intrusions were flagged, so they can
+// gate scripts. Baseline detectors without a bundled model self-calibrate
+// on the first windows of each stream. Malformed capture lines are counted
+// (and surfaced) instead of aborting the run; unknown flags or detector
+// names print usage / the registry listing and exit 1.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -42,12 +48,16 @@
 
 #include "analysis/registry.h"
 #include "attacks/scenario.h"
+#include "baselines/interval_ids.h"
+#include "baselines/muter_entropy.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
 #include "campaign/spec.h"
 #include "engine/fleet_engine.h"
 #include "ids/pipeline.h"
 #include "metrics/experiment.h"
+#include "model/bundle.h"
+#include "model/store.h"
 #include "trace/trace_io.h"
 #include "util/table.h"
 
@@ -66,12 +76,13 @@ void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage:\n"
                "  canids info <capture>\n"
-               "  canids train <template-out> <clean-capture>...\n"
+               "  canids train <bundle-out> <clean-capture>...\n"
                "  canids detectors\n"
-               "  canids detect <template> <capture> [--detector NAME] "
+               "  canids models inspect <bundle>\n"
+               "  canids detect <models> <capture> [--detector NAME] "
                "[--alpha A] [--window S] [--rank N] [--no-pairs] "
                "[--calibrate N]\n"
-               "  canids fleet <template> <dir-or-capture>... "
+               "  canids fleet <models> <dir-or-capture>... "
                "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
                "[--window S] [--no-pairs] [--calibrate N] [--quiet]\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
@@ -80,12 +91,17 @@ void print_usage(std::FILE* out) {
                "[--detectors A,B] [--scenarios A,B] [--ids HEX,...] "
                "[--rates HZ,...] [--seeds N] [--seed N] [--alpha A] "
                "[--window S] [--lead-in S] [--duration S] "
-               "[--training-windows N] [--workers N] [--template PATH] "
-               "[--quiet]\n"
+               "[--training-windows N] [--workers N] [--model BUNDLE] "
+               "[--template PATH] [--save-models PATH] "
+               "[--captures DIR] [--labels CSV] [--quiet]\n"
                "\n"
-               "`train --save PATH` writes the golden template; detect/fleet "
-               "accept `--template PATH` instead of the positional "
-               "template.\n");
+               "`train --save PATH` (or the positional form) writes a model "
+               "bundle carrying every trained model; <models> is a bundle "
+               "or a legacy golden-template file, also accepted as "
+               "`--model PATH`/`--template PATH` in place of the "
+               "positional argument. `campaign --model BUNDLE` cold-starts "
+               "the sweep with zero training passes; `--captures DIR` "
+               "replays recorded traces scored against DIR/labels.csv.\n");
 }
 
 int usage() {
@@ -185,11 +201,18 @@ int cmd_info(const std::string& path) {
 
 int cmd_train(const std::string& out_path,
               const std::vector<std::string>& inputs) {
+  // One pass over the clean captures trains every persistable model: the
+  // paper's golden template, the Müter symbol-entropy band, and the Song
+  // interval periods — the full bundle a later `detect|fleet|campaign
+  // --model` cold-starts from without any training.
   ids::WindowConfig window;
   ids::TemplateBuilder builder;
+  std::vector<baselines::SymbolWindow> symbol_windows;
+  baselines::IntervalIds interval_model{};
   for (const std::string& path : inputs) {
     const trace::Trace capture = trace::load_trace_file(path);
     ids::WindowAccumulator accumulator(window);
+    baselines::SymbolEntropyAccumulator symbol_accumulator(window.duration);
     std::size_t used = 0;
     for (const trace::LogRecord& record : capture) {
       if (auto snap = accumulator.add(record.timestamp, record.frame.id())) {
@@ -198,24 +221,73 @@ int cmd_train(const std::string& out_path,
           ++used;
         }
       }
+      if (auto symbol_window = symbol_accumulator.add(
+              record.timestamp, record.frame.id().raw())) {
+        symbol_windows.push_back(*symbol_window);
+      }
+      interval_model.train(record.timestamp, record.frame.id().raw());
     }
     std::printf("%s: %zu full windows\n", path.c_str(), used);
   }
-  const ids::GoldenTemplate golden = builder.build();
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  interval_model.finish_training();
+
+  model::StoredModels models;
+  models.golden = std::make_shared<const ids::GoldenTemplate>(builder.build());
+  if (symbol_windows.size() >= 2) {
+    models.muter = std::make_shared<const baselines::MuterEntropyIds>(
+        symbol_windows, baselines::MuterConfig{});
+  } else {
+    std::printf("note: fewer than 2 full windows — symbol-entropy band not "
+                "trained, that section is omitted from the bundle.\n");
+  }
+  if (interval_model.tracked_ids() > 0) {
+    models.interval = std::make_shared<const baselines::IntervalIds>(
+        std::move(interval_model));
+  }
+
+  try {
+    model::save_models_file(out_path, models);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 66;  // EX_NOINPUT-ish
   }
-  golden.save(out);
-  std::printf("template (%zu windows, pairs=%s) -> %s\n",
-              golden.training_windows, golden.has_pairs() ? "yes" : "no",
+  std::printf("model bundle (template %zu windows, pairs=%s; muter %s; "
+              "interval %s) -> %s\n",
+              models.golden->training_windows,
+              models.golden->has_pairs() ? "yes" : "no",
+              models.muter ? "yes" : "no",
+              models.interval
+                  ? (std::to_string(models.interval->tracked_ids()) + " IDs")
+                        .c_str()
+                  : "no",
               out_path.c_str());
-  if (golden.training_windows < ids::kPaperTrainingWindows) {
+  if (models.golden->training_windows < ids::kPaperTrainingWindows) {
     std::printf("note: the paper trains on %zu windows; consider more clean "
                 "captures.\n",
                 ids::kPaperTrainingWindows);
   }
+  return 0;
+}
+
+/// `canids models inspect <bundle>`: format version, section names/sizes,
+/// and a per-model summary line for each section.
+int cmd_models_inspect(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 66;
+  }
+  const model::ModelBundle bundle = model::ModelBundle::load(in);
+  std::printf("%s: canids model bundle, format version %u, %zu section%s\n",
+              path.c_str(), model::kBundleFormatVersion,
+              bundle.sections().size(),
+              bundle.sections().size() == 1 ? "" : "s");
+  util::Table table({"section", "bytes", "summary"});
+  for (const model::ModelBundle::Section& section : bundle.sections()) {
+    table.add_row({section.name, std::to_string(section.payload.size()),
+                   model::describe_section(section)});
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -235,17 +307,15 @@ int cmd_detectors() {
   return 0;
 }
 
-/// Load a serialized golden template; nullptr (after an error message)
-/// when the file cannot be read.
-std::shared_ptr<const ids::GoldenTemplate> load_template(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return nullptr;
+/// Load persisted models — a bundle or a legacy bare golden-template file.
+/// nullopt (after an error message) when the file cannot be read.
+std::optional<model::StoredModels> load_models(const std::string& path) {
+  try {
+    return model::load_models_file(path);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return std::nullopt;
   }
-  return std::make_shared<const ids::GoldenTemplate>(
-      ids::GoldenTemplate::load(in));
 }
 
 /// Build a backend from the registry, translating an unknown name into the
@@ -324,13 +394,22 @@ std::pair<std::vector<can::TimedFrame>, std::uint64_t> read_capture_lenient(
   return {std::move(frames), parse_errors};
 }
 
-int cmd_detect(const std::string& template_path, const std::string& capture_path,
+int cmd_detect(const std::string& models_path, const std::string& capture_path,
                std::vector<std::string> args) {
-  const auto golden = load_template(template_path);
-  if (!golden) return 66;
+  const auto models = load_models(models_path);
+  if (!models) return 66;
+  if (!models->golden) {
+    std::fprintf(stderr, "%s: bundle has no golden-template section\n",
+                 models_path.c_str());
+    return 66;
+  }
 
   analysis::DetectorOptions options;
-  options.golden = golden;
+  options.golden = models->golden;
+  // Bundled baseline models run pretrained; absent ones self-calibrate on
+  // the capture's first windows exactly as before.
+  options.muter_model = models->muter;
+  options.interval_model = models->interval;
   const std::string detector_name =
       arg_string(args, "--detector").value_or("bit-entropy");
   if (const auto alpha = arg_number(args, "--alpha")) {
@@ -415,15 +494,19 @@ std::vector<std::filesystem::path> collect_captures(
   return paths;
 }
 
-int cmd_fleet(const std::string& template_path,
+int cmd_fleet(const std::string& models_path,
               const std::vector<std::string>& inputs,
               std::vector<std::string> args) {
-  const auto golden = load_template(template_path);
-  if (!golden) return 66;
+  const auto models = load_models(models_path);
+  if (!models) return 66;
+  if (!models->golden) {
+    std::fprintf(stderr, "%s: bundle has no golden-template section\n",
+                 models_path.c_str());
+    return 66;
+  }
 
   engine::FleetConfig config;
   analysis::DetectorOptions options;
-  options.golden = golden;
   const std::string detector_name =
       arg_string(args, "--detector").value_or("bit-entropy");
   if (const auto shards = arg_number(args, "--shards")) {
@@ -454,8 +537,19 @@ int cmd_fleet(const std::string& template_path,
     return 66;
   }
 
-  engine::FleetEngine fleet(
-      make_backend_or_usage(detector_name, options), config);
+  // Cold start straight from the persisted models: the engine overlays the
+  // bundle's golden/muter/interval onto the options and builds the
+  // registry backend — no stream trains a model the bundle already has.
+  std::unique_ptr<engine::FleetEngine> fleet_holder;
+  try {
+    fleet_holder = std::make_unique<engine::FleetEngine>(
+        *models, detector_name, options, config);
+  } catch (const analysis::UnknownDetectorError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    cmd_detectors();
+    throw UsageError{"--detector expects a registered detector name"};
+  }
+  engine::FleetEngine& fleet = *fleet_holder;
   if (quiet) {
     // Streaming mode with a no-op handler: alerts are counted but never
     // retained, keeping long runs at constant memory.
@@ -715,20 +809,52 @@ int cmd_campaign(std::vector<std::string> args) {
   if (const auto tpl = arg_string(args, "--template")) {
     spec.template_path = *tpl;
   }
+  if (const auto bundle = arg_string(args, "--model")) {
+    spec.model_path = *bundle;
+  }
+  if (const auto captures = arg_string(args, "--captures")) {
+    spec.capture_dir = *captures;
+  }
+  if (const auto labels = arg_string(args, "--labels")) {
+    spec.labels_path = *labels;
+  }
+  const auto save_models = arg_string(args, "--save-models");
   const auto out_dir = arg_string(args, "--out");
   const bool quiet = arg_flag(args, "--quiet");
   reject_leftovers(args);
 
   campaign::CampaignRunner runner(std::move(spec));
-  std::printf("campaign '%s': %zu trials (%zu detectors x %zu %s x %zu "
-              "rates x %d seeds)\n",
-              runner.spec().name.c_str(), runner.spec().trial_count(),
-              runner.spec().detectors.size(),
-              runner.spec().sweep_ids.empty()
-                  ? runner.spec().scenarios.size()
-                  : runner.spec().sweep_ids.size(),
-              runner.spec().sweep_ids.empty() ? "scenarios" : "IDs",
-              runner.spec().rates_hz.size(), runner.spec().seeds);
+  if (runner.spec().capture_mode()) {
+    if (runner.spec().model_path.empty() &&
+        runner.spec().template_path.empty()) {
+      // Scoring recorded traffic with models trained on the built-in
+      // synthetic vehicle is only meaningful when the captures ARE
+      // synthetic-vehicle recordings — say so instead of emitting
+      // legitimate-looking but baseless cells for a real dataset.
+      std::fprintf(stderr,
+                   "warning: no --model bundle given — detector models will "
+                   "be trained on the built-in synthetic vehicle, which is "
+                   "only meaningful if these captures were recorded from it. "
+                   "For real datasets, train on clean recordings first "
+                   "(`canids train bundle.canids clean...`) and pass "
+                   "--model.\n");
+    }
+    std::printf("campaign '%s': %zu trials (%zu detectors x %zu recorded "
+                "captures)\n",
+                runner.spec().name.c_str(), runner.spec().trial_count(),
+                runner.spec().detectors.size(),
+                runner.spec().captures.size());
+  } else {
+    std::printf("campaign '%s': %zu trials (%zu detectors x %zu %s x %zu "
+                "rates x %d seeds)\n",
+                runner.spec().name.c_str(), runner.spec().trial_count(),
+                runner.spec().detectors.size(),
+                runner.spec().sweep_ids.empty()
+                    ? runner.spec().scenarios.size()
+                    : runner.spec().sweep_ids.size(),
+                runner.spec().sweep_ids.empty() ? "scenarios" : "IDs",
+                runner.spec().rates_hz.size(), runner.spec().seeds);
+  }
 
   const campaign::CampaignReport report = runner.run();
 
@@ -738,8 +864,11 @@ int cmd_campaign(std::vector<std::string> args) {
     for (const campaign::CampaignCell& cell : report.cells) {
       table.add_row(
           {cell.detector,
-           cell.sweep_id ? "id " + std::to_string(*cell.sweep_id)
-                         : std::string(campaign::scenario_token(cell.kind)),
+           !cell.capture.empty()
+               ? cell.capture
+               : cell.sweep_id
+                     ? "id " + std::to_string(*cell.sweep_id)
+                     : std::string(campaign::scenario_token(cell.kind)),
            util::Table::num(cell.frequency_hz, 0),
            util::Table::percent(cell.detection_rate),
            util::Table::percent(cell.tpr), util::Table::percent(cell.fpr),
@@ -756,10 +885,15 @@ int cmd_campaign(std::vector<std::string> args) {
 
   const campaign::CampaignRunStats& stats = runner.stats();
   std::printf("%zu trials on %d workers in %.2fs (%.2f trials/s, training "
-              "%.2fs, once)\n",
+              "%.2fs, training passes: %llu)\n",
               stats.trials, stats.workers, stats.wall_seconds,
-              stats.trials_per_second(), stats.train_seconds);
+              stats.trials_per_second(), stats.train_seconds,
+              static_cast<unsigned long long>(stats.training_passes));
 
+  if (save_models) {
+    model::save_models_file(*save_models, runner.models().stored());
+    std::printf("models -> %s\n", save_models->c_str());
+  }
   if (out_dir) {
     report.write_all(*out_dir);
     std::printf("report -> %s/{trials.csv, cells.csv, roc.csv, report.json}\n",
@@ -786,6 +920,12 @@ int main(int argc, char** argv) {
       }
       return cmd_detectors();
     }
+    if (command == "models") {
+      if (args.size() != 2 || args[0] != "inspect") {
+        throw UsageError{"usage: canids models inspect <bundle>"};
+      }
+      return cmd_models_inspect(args[1]);
+    }
     if (command == "train") {
       // `train --save PATH clean...` or the positional `train PATH clean...`.
       const auto save = arg_string(args, "--save");
@@ -798,12 +938,14 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (command == "detect") {
-      // `--template PATH` replaces the positional template argument.
-      const auto tpl = arg_string(args, "--template");
+      // `--model PATH` (or the legacy spelling `--template PATH`) replaces
+      // the positional models argument.
+      auto tpl = arg_string(args, "--model");
+      if (!tpl) tpl = arg_string(args, "--template");
       if (tpl && !args.empty()) {
         if (args[0].rfind("--", 0) == 0) {
-          throw UsageError{"with --template, the capture path must come "
-                           "before other flags"};
+          throw UsageError{"with --model/--template, the capture path must "
+                           "come before other flags"};
         }
         return cmd_detect(*tpl, args[0], {args.begin() + 1, args.end()});
       }
@@ -813,7 +955,8 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (command == "fleet" && !args.empty()) {
-      const auto template_flag = arg_string(args, "--template");
+      auto template_flag = arg_string(args, "--model");
+      if (!template_flag) template_flag = arg_string(args, "--template");
       std::string tpl;
       std::size_t first_input = 0;
       if (template_flag) {
@@ -835,8 +978,8 @@ int main(int argc, char** argv) {
       }
       if (inputs.empty()) {
         if (template_flag) {
-          throw UsageError{"with --template, capture paths must come "
-                           "before other flags"};
+          throw UsageError{"with --model/--template, capture paths must "
+                           "come before other flags"};
         }
         return usage();
       }
