@@ -9,10 +9,12 @@
 
 #include "metrics/experiment.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   // --- 1. Window length -------------------------------------------------------
   util::print_banner(std::cout,
                      "Ablation 1 — window length vs detection rate and "
@@ -110,5 +112,8 @@ int main() {
                  "identifiers; the pairwise features buy multi-ID "
                  "identifiability for 440 extra bytes.\n";
   }
+  util::write_bench_json(
+      "ablation_sensitivity",
+      {{"wall_seconds", bench_timer.seconds()}});
   return 0;
 }

@@ -1,18 +1,40 @@
 // CAMPAIGN — throughput of the evaluation-campaign subsystem: every
 // registered built-in backend x every Table I scenario x two injection
-// rates, fanned out over the worker pool. Prints the per-cell summary and
-// emits BENCH_campaign.json (trials, workers, wall seconds, trials/sec) so
-// the perf trajectory is tracked across PRs; an optional argv[1] directory
-// receives the full CSV/JSON report artifacts.
+// rates, fanned out over the worker pool, then re-run as 3 cold-started
+// shards whose merge must reproduce the single-process report byte for
+// byte (the distributed-campaign invariance). Prints the per-cell summary
+// and emits BENCH_campaign.json (trials, workers, wall seconds,
+// trials/sec, shard wall seconds, shards/sec, merge seconds) so the perf
+// trajectory is tracked across PRs; an optional argv[1] directory receives
+// the full CSV/JSON report artifacts.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "campaign/partial.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
 #include "util/table.h"
 
 using namespace canids;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+std::string report_json(const campaign::CampaignReport& report) {
+  std::ostringstream out;
+  report.write_json(out);
+  return out.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   campaign::CampaignSpec spec;
@@ -53,6 +75,34 @@ int main(int argc, char** argv) {
               stats.trials, stats.workers, stats.wall_seconds,
               stats.trials_per_second(), stats.train_seconds);
 
+  // Distributed execution: the same grid as 3 shards, each cold-started
+  // from the single run's trained models (zero training passes), then
+  // merged back — measuring per-shard throughput and the merge itself.
+  constexpr std::uint32_t kShards = 3;
+  bool shards_cold = true;
+  const auto shards_started = std::chrono::steady_clock::now();
+  std::vector<campaign::PartialReport> partials;
+  for (std::uint32_t index = 0; index < kShards; ++index) {
+    campaign::CampaignSpec shard_spec = spec;
+    shard_spec.shard = campaign::ShardSelector{index, kShards};
+    campaign::CampaignRunner shard_runner(shard_spec, runner.models());
+    partials.push_back(shard_runner.run_shard());
+    shards_cold = shards_cold && shard_runner.stats().training_passes == 0;
+  }
+  const double shard_wall_seconds = seconds_since(shards_started);
+  const auto merge_started = std::chrono::steady_clock::now();
+  const campaign::CampaignReport merged =
+      campaign::merge_partials(std::move(partials));
+  const double merge_seconds = seconds_since(merge_started);
+  const double shards_per_second =
+      shard_wall_seconds > 0.0 ? kShards / shard_wall_seconds : 0.0;
+  const bool merge_identical = report_json(merged) == report_json(report);
+
+  std::printf("%u cold-started shards: %.2fs wall (%.2f shards/s), merge "
+              "%.3fs, merged report %s\n",
+              kShards, shard_wall_seconds, shards_per_second, merge_seconds,
+              merge_identical ? "byte-identical" : "DIVERGES");
+
   {
     std::ofstream json("BENCH_campaign.json");
     json << "{\"bench\": \"campaign\", \"trials\": " << stats.trials
@@ -60,6 +110,10 @@ int main(int argc, char** argv) {
          << ", \"train_seconds\": " << stats.train_seconds
          << ", \"wall_seconds\": " << stats.wall_seconds
          << ", \"trials_per_second\": " << stats.trials_per_second()
+         << ", \"shards\": " << kShards
+         << ", \"shard_wall_seconds\": " << shard_wall_seconds
+         << ", \"shards_per_second\": " << shards_per_second
+         << ", \"merge_seconds\": " << merge_seconds
          << "}\n";
     std::printf("perf -> BENCH_campaign.json\n");
   }
@@ -75,7 +129,8 @@ int main(int argc, char** argv) {
   const std::size_t expected_cells = spec.detectors.size() *
                                      spec.scenarios.size() *
                                      spec.rates_hz.size();
-  bool ok = report.cells.size() == expected_cells;
+  bool ok = report.cells.size() == expected_cells && merge_identical &&
+            shards_cold;
   for (const campaign::CampaignCell& cell : report.cells) {
     if (cell.detector == "bit-entropy" &&
         cell.kind == attacks::ScenarioKind::kFlood &&

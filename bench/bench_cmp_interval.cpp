@@ -15,10 +15,12 @@
 #include "ids/bit_counters.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   metrics::ExperimentConfig config;
   config.training_windows = ids::kPaperTrainingWindows;
   config.seed = 0xC311;
@@ -106,5 +108,8 @@ int main() {
                               interval_unseen.alerts == 0 &&
                               interval_known.alerts > 0;
   std::cout << (expected_shape ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  util::write_bench_json(
+      "cmp_interval",
+      {{"wall_seconds", bench_timer.seconds()}});
   return expected_shape ? 0 : 1;
 }

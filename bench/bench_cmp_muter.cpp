@@ -15,10 +15,12 @@
 #include "ids/bit_counters.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   metrics::ExperimentConfig config;
   config.training_windows = ids::kPaperTrainingWindows;
   config.seed = 0xC38;
@@ -119,5 +121,8 @@ int main() {
   versus.print(std::cout);
   std::cout << "expected: comparable alert coverage, but only the bit-slice "
                "detector names the malicious identifier.\n";
+  util::write_bench_json(
+      "cmp_muter",
+      {{"wall_seconds", bench_timer.seconds()}});
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "can/bitstream.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
@@ -63,6 +64,7 @@ void describe(const can::Frame& frame, const char* title) {
 }  // namespace
 
 int main() {
+  const util::BenchTimer bench_timer;
   const std::vector<std::uint8_t> payload = {0x80, 0x80, 0x00, 0x00,
                                              0x00, 0x00, 0x80, 0x59};
   describe(can::Frame::data_frame(can::CanId::standard(0x0D1), payload),
@@ -78,5 +80,8 @@ int main() {
 
   describe(can::Frame::remote_frame(can::CanId::standard(0x5E4), 2),
            "remote frame");
+  util::write_bench_json(
+      "fig1_frame_format",
+      {{"wall_seconds", bench_timer.seconds()}});
   return 0;
 }

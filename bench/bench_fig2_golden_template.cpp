@@ -7,10 +7,12 @@
 
 #include "metrics/experiment.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   metrics::ExperimentConfig config;
   config.training_windows = ids::kPaperTrainingWindows;  // 35
   config.seed = 0xF16'2;
@@ -86,5 +88,8 @@ int main() {
                    5)
             << " (synthetic traffic is noisier; shape, not scale, is the "
                "claim under test).\n";
+  util::write_bench_json(
+      "fig2_golden_template",
+      {{"wall_seconds", bench_timer.seconds()}});
   return detection.alert ? 0 : 1;
 }

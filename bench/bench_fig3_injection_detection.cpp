@@ -18,10 +18,12 @@
 #include "metrics/experiment.h"
 #include "trace/synthetic_vehicle.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   campaign::CampaignSpec spec;
   spec.name = "fig3";
   spec.detectors = {"bit-entropy"};
@@ -111,5 +113,8 @@ int main() {
             << "/14\n";
   const bool shape_holds = ir_head > ir_tail && dr_head >= dr_tail - 0.05;
   std::cout << (shape_holds ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  util::write_bench_json(
+      "fig3_injection_detection",
+      {{"wall_seconds", bench_timer.seconds()}});
   return shape_holds ? 0 : 1;
 }

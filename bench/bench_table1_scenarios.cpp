@@ -18,6 +18,7 @@
 #include "campaign/runner.h"
 #include "metrics/experiment.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
@@ -89,6 +90,7 @@ campaign::ScenarioRollup rollup_of(
 }  // namespace
 
 int main() {
+  const util::BenchTimer bench_timer;
   // Two IDS configurations:
   //  * "paper mode" — malicious-ID inference from the 11 marginal bit
   //    probabilities only, as §V.C describes;
@@ -166,5 +168,8 @@ int main() {
         "clean windows stay quiet (FPR < 5%)");
 
   std::cout << passed << "/" << checks << " shape checks passed\n";
+  util::write_bench_json(
+      "table1_scenarios",
+      {{"wall_seconds", bench_timer.seconds()}});
   return passed == checks ? 0 : 1;
 }

@@ -11,10 +11,12 @@
 #include "trace/trace_io.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/bench_json.h"
 
 using namespace canids;
 
 int main() {
+  const util::BenchTimer bench_timer;
   metrics::ExperimentConfig config;
   config.training_windows = ids::kPaperTrainingWindows;
   config.seed = 0x57AB;
@@ -118,5 +120,8 @@ int main() {
   alpha_table.print(std::cout);
   std::cout << "expected: FPR falls to ~0 by alpha=5 while the attack stays "
                "fully visible — matching the paper's empirical choice.\n";
+  util::write_bench_json(
+      "template_stability",
+      {{"wall_seconds", bench_timer.seconds()}});
   return 0;
 }

@@ -104,8 +104,12 @@ int CampaignRunner::resolve_workers(const CampaignSpec& spec,
   int workers = spec.workers > 0
                     ? spec.workers
                     : static_cast<int>(std::thread::hardware_concurrency());
+  // hardware_concurrency() may legitimately report 0 (unknown).
   if (workers < 1) workers = 1;
-  if (static_cast<std::size_t>(workers) > trials && trials > 0) {
+  // Never hold threads that could not receive a trial: a pool larger than
+  // the (possibly sharded) plan would spin up idle workers, and an empty
+  // slice needs no pool at all.
+  if (static_cast<std::size_t>(workers) > trials) {
     workers = static_cast<int>(trials);
   }
   return workers;
@@ -160,7 +164,34 @@ const metrics::SharedModels& CampaignRunner::models() {
 }
 
 CampaignReport CampaignRunner::run() {
-  const std::vector<TrialPlan> plan = spec_.plan();
+  if (spec_.shard) {
+    throw std::invalid_argument(
+        "campaign: spec selects shard " + spec_.shard->to_string() +
+        " — run_shard() produces the partial report; merge the partials "
+        "for the full report");
+  }
+  std::vector<metrics::InstrumentedTrial> results = execute(spec_.plan());
+  return make_report(spec_, std::move(results));
+}
+
+PartialReport CampaignRunner::run_shard() {
+  const std::vector<TrialPlan> plan = spec_.sharded_plan();
+  std::vector<metrics::InstrumentedTrial> results = execute(plan);
+
+  PartialReport partial;
+  partial.spec = spec_;
+  partial.spec.shard.reset();  // the spec names the campaign, not the slice
+  partial.shard = spec_.shard.value_or(ShardSelector{});
+  partial.rows.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    partial.rows.push_back(
+        PartialReport::Row{plan[i].index, std::move(results[i])});
+  }
+  return partial;
+}
+
+std::vector<metrics::InstrumentedTrial> CampaignRunner::execute(
+    const std::vector<TrialPlan>& plan) {
   std::call_once(trained_, [this] { train_once(); });
 
   const auto started = std::chrono::steady_clock::now();
@@ -221,7 +252,7 @@ CampaignReport CampaignRunner::run() {
   stats_.trials = plan.size();
   stats_.workers = workers;
   stats_.wall_seconds = elapsed_seconds(started);
-  return make_report(spec_, std::move(results));
+  return results;
 }
 
 }  // namespace canids::campaign

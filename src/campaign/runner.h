@@ -13,7 +13,9 @@
 
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "campaign/partial.h"
 #include "campaign/report.h"
 #include "campaign/spec.h"
 #include "metrics/experiment.h"
@@ -52,7 +54,16 @@ class CampaignRunner {
   /// Execute the full grid and aggregate. Training happens once, on the
   /// first call; later runs (e.g. a re-sweep with the same runner) reuse
   /// the cached models. Worker exceptions propagate after the pool joins.
+  /// Throws std::invalid_argument when the spec selects a shard — a slice
+  /// cannot aggregate into a full report; use run_shard() and merge.
   [[nodiscard]] CampaignReport run();
+
+  /// Execute only the spec's shard slice (the whole plan when no shard is
+  /// set — so merge-of-one reproduces run() byte-identically) over the
+  /// same worker pool, and return the mergeable partial report. Training
+  /// and cold-start behave exactly as in run(): a shard started from a
+  /// model bundle performs zero training passes.
+  [[nodiscard]] PartialReport run_shard();
 
   /// Stats of the most recent run().
   [[nodiscard]] const CampaignRunStats& stats() const noexcept {
@@ -65,12 +76,20 @@ class CampaignRunner {
   /// fleet deployment) skips training entirely.
   [[nodiscard]] const metrics::SharedModels& models();
 
-  /// Worker count a spec resolves to on this machine.
+  /// Worker count a spec resolves to on this machine: `spec.workers`, or
+  /// hardware concurrency when 0, clamped to the trial count so a pool
+  /// never holds threads that could not receive a trial (an empty sharded
+  /// slice resolves to 0 workers and spawns no pool at all).
   [[nodiscard]] static int resolve_workers(const CampaignSpec& spec,
                                            std::size_t trials);
 
  private:
   void train_once();
+
+  /// The worker pool shared by run() and run_shard(): executes `plan`'s
+  /// trials into a result vector in plan order and refreshes stats_.
+  [[nodiscard]] std::vector<metrics::InstrumentedTrial> execute(
+      const std::vector<TrialPlan>& plan);
 
   CampaignSpec spec_;
   trace::CaptureLabels labels_;

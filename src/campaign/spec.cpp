@@ -294,6 +294,33 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+ShardSelector ShardSelector::parse(std::string_view text) {
+  const auto fail = [&] {
+    throw std::invalid_argument(
+        "shard selector '" + std::string(text) +
+        "' must be I/N with 1 <= I <= N (e.g. --shard 2/3)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) fail();
+  const auto parse_field = [&](std::string_view field) -> std::uint32_t {
+    if (field.empty() || field.size() > 9) fail();
+    std::uint64_t value = 0;
+    for (const char c : field) {
+      if (c < '0' || c > '9') fail();
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return static_cast<std::uint32_t>(value);
+  };
+  const std::uint32_t index = parse_field(text.substr(0, slash));
+  const std::uint32_t count = parse_field(text.substr(slash + 1));
+  if (index < 1 || index > count) fail();
+  return ShardSelector{index - 1, count};
+}
+
+std::string ShardSelector::to_string() const {
+  return std::to_string(index + 1) + "/" + std::to_string(count);
+}
+
 std::string_view scenario_token(attacks::ScenarioKind kind) {
   switch (kind) {
     case attacks::ScenarioKind::kFlood: return "flood";
@@ -394,6 +421,10 @@ void CampaignSpec::validate() const {
   if (workers < 0) {
     throw std::invalid_argument("campaign spec: workers must be >= 0");
   }
+  if (shard && (shard->count < 1 || shard->index >= shard->count)) {
+    throw std::invalid_argument(
+        "campaign spec: shard index must lie inside the shard count");
+  }
   // The experiment knobs a spec (or CLI override) can reach; anything
   // negative here would place the attack at negative time or spin the
   // training loop forever, so reject it before a runner is built.
@@ -474,6 +505,17 @@ std::vector<TrialPlan> CampaignSpec::plan() const {
     }
   }
   return plans;
+}
+
+std::vector<TrialPlan> CampaignSpec::sharded_plan() const {
+  std::vector<TrialPlan> full = plan();
+  if (!shard) return full;
+  std::vector<TrialPlan> sliced;
+  sliced.reserve(full.size() / shard->count + 1);
+  for (TrialPlan& trial : full) {
+    if (shard->covers(trial.index)) sliced.push_back(std::move(trial));
+  }
+  return sliced;
 }
 
 CampaignSpec CampaignSpec::from_json(std::string_view text) {

@@ -29,6 +29,32 @@ namespace canids::campaign {
 [[nodiscard]] std::optional<attacks::ScenarioKind> scenario_from_token(
     std::string_view token);
 
+/// One slice of a campaign's canonical trial plan, written "I/N" on the
+/// command line (1-based I of N shards). Internally 0-based: shard `index`
+/// owns every trial whose canonical plan index is congruent to it modulo
+/// `count`. Striding keeps the detector-major plan balanced across shards,
+/// and the slices are disjoint and cover the plan for ANY count — the
+/// invariance `canids campaign merge` rebuilds a byte-identical report
+/// from.
+struct ShardSelector {
+  std::uint32_t index = 0;  ///< 0-based shard position, < count
+  std::uint32_t count = 1;  ///< total shards, >= 1
+
+  [[nodiscard]] bool covers(std::size_t trial_index) const noexcept {
+    return count > 0 && trial_index % count == index;
+  }
+
+  /// Parse the CLI form "I/N" (1-based, 1 <= I <= N). Throws
+  /// std::invalid_argument on anything else — a silently mis-parsed shard
+  /// would drop or duplicate trials.
+  [[nodiscard]] static ShardSelector parse(std::string_view text);
+
+  /// The CLI form back: index 0 of 3 prints "1/3".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ShardSelector&, const ShardSelector&) = default;
+};
+
 /// One planned trial: a fixed position in the campaign grid. The trial
 /// seed depends only on the cell coordinates, never on which worker runs
 /// it or when.
@@ -105,6 +131,13 @@ struct CampaignSpec {
   /// Worker threads; 0 means hardware concurrency.
   int workers = 0;
 
+  /// When set, this process executes only the selected slice of plan()
+  /// (see sharded_plan()) and emits a PartialReport instead of a full
+  /// report. Deliberately NOT serialized, like `workers`: the shard
+  /// selector is an execution knob, and the report merged from N partials
+  /// must be byte-identical to the unsharded run of the same spec.
+  std::optional<ShardSelector> shard;
+
   [[nodiscard]] static std::vector<double> default_threshold_scales();
 
   /// Tiny preset sized for a CI smoke run (seconds, not minutes).
@@ -127,8 +160,15 @@ struct CampaignSpec {
   /// run_scenario order), sweep cells count per identifier (Fig. 3).
   [[nodiscard]] std::vector<TrialPlan> plan() const;
 
+  /// plan() filtered to the trials the spec's shard selector owns (the
+  /// whole plan when no shard is set). TrialPlan::index keeps its
+  /// FULL-plan value — the coordinate partial reports merge by. A slice
+  /// may legitimately be empty when count exceeds the trial count.
+  [[nodiscard]] std::vector<TrialPlan> sharded_plan() const;
+
   /// Throws std::invalid_argument when the grid is degenerate (no
-  /// detectors, no scenarios/IDs, no rates, seeds < 1, ...).
+  /// detectors, no scenarios/IDs, no rates, seeds < 1, a shard index
+  /// outside its count, ...).
   void validate() const;
 };
 

@@ -4,62 +4,14 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace canids::model {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("model bundle: " + what);
-}
-
-void write_u32(std::ostream& out, std::uint32_t value) {
-  char bytes[4];
-  for (int i = 0; i < 4; ++i) {
-    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
-  }
-  out.write(bytes, sizeof bytes);
-}
-
-void write_u64(std::ostream& out, std::uint64_t value) {
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
-  }
-  out.write(bytes, sizeof bytes);
-}
-
-std::uint32_t read_u32(std::istream& in, const char* what) {
-  char bytes[4];
-  in.read(bytes, sizeof bytes);
-  if (in.gcount() != sizeof bytes) fail(std::string("truncated ") + what);
-  std::uint32_t value = 0;
-  for (int i = 0; i < 4; ++i) {
-    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
-             << (8 * i);
-  }
-  return value;
-}
-
-std::uint64_t read_u64(std::istream& in, const char* what) {
-  char bytes[8];
-  in.read(bytes, sizeof bytes);
-  if (in.gcount() != sizeof bytes) fail(std::string("truncated ") + what);
-  std::uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
-             << (8 * i);
-  }
-  return value;
-}
-
-std::string read_bytes(std::istream& in, std::uint64_t count,
-                       const char* what) {
-  std::string out(static_cast<std::size_t>(count), '\0');
-  in.read(out.data(), static_cast<std::streamsize>(count));
-  if (static_cast<std::uint64_t>(in.gcount()) != count) {
-    fail(std::string("truncated ") + what);
-  }
-  return out;
 }
 
 }  // namespace
@@ -99,55 +51,52 @@ const std::string* ModelBundle::find(std::string_view name) const noexcept {
 }
 
 void ModelBundle::save(std::ostream& out) const {
-  out.write(kBundleMagic.data(),
-            static_cast<std::streamsize>(kBundleMagic.size()));
-  write_u32(out, kBundleFormatVersion);
-  write_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  util::BinaryWriter writer(out);
+  writer.bytes(kBundleMagic);
+  writer.u32(kBundleFormatVersion);
+  writer.u32(static_cast<std::uint32_t>(sections_.size()));
   for (const Section& section : sections_) {
-    write_u32(out, static_cast<std::uint32_t>(section.name.size()));
-    out.write(section.name.data(),
-              static_cast<std::streamsize>(section.name.size()));
-    write_u64(out, section.payload.size());
-    out.write(section.payload.data(),
-              static_cast<std::streamsize>(section.payload.size()));
+    writer.u32(static_cast<std::uint32_t>(section.name.size()));
+    writer.bytes(section.name);
+    writer.u64(section.payload.size());
+    writer.bytes(section.payload);
   }
   if (!out) fail("write failed");
 }
 
 ModelBundle ModelBundle::load(std::istream& in) {
+  util::BinaryReader reader(in, "model bundle");
   char magic[8];
   in.read(magic, sizeof magic);
   if (in.gcount() != sizeof magic ||
       std::string_view(magic, sizeof magic) != kBundleMagic) {
     fail("bad magic (not a canids model bundle)");
   }
-  const std::uint32_t version = read_u32(in, "version field");
+  const std::uint32_t version = reader.u32("version field");
   if (version != kBundleFormatVersion) {
     fail("unsupported format version " + std::to_string(version) +
          " (this build reads version " +
          std::to_string(kBundleFormatVersion) + ")");
   }
-  const std::uint32_t count = read_u32(in, "section count");
+  const std::uint32_t count = reader.u32("section count");
 
   ModelBundle bundle;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t name_len = read_u32(in, "section name length");
+    const std::uint32_t name_len = reader.u32("section name length");
     if (name_len == 0) fail("empty section name");
     if (name_len > 4096) fail("implausible section name length");
-    std::string name = read_bytes(in, name_len, "section name");
-    const std::uint64_t payload_len = read_u64(in, "section payload length");
+    std::string name = reader.bytes(name_len, "section name");
+    const std::uint64_t payload_len = reader.u64("section payload length");
     if (payload_len > kMaxSectionBytes) {
       fail("section '" + name + "' exceeds the size cap");
     }
-    std::string payload = read_bytes(in, payload_len, "section payload");
+    std::string payload = reader.bytes(payload_len, "section payload");
     if (bundle.contains(name)) fail("duplicate section '" + name + "'");
     bundle.sections_.push_back(Section{std::move(name), std::move(payload)});
   }
   // A bundle is the whole stream: trailing bytes mean a corrupted file or
   // a concatenation accident, and must not load as if they weren't there.
-  if (in.peek() != std::char_traits<char>::eof()) {
-    fail("trailing bytes after the last section");
-  }
+  reader.expect_eof("trailing bytes after the last section");
   return bundle;
 }
 

@@ -1,0 +1,122 @@
+#include "util/binary_io.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace canids::util {
+
+void BinaryWriter::u8(std::uint8_t value) {
+  const char byte = static_cast<char>(value);
+  out_.write(&byte, 1);
+}
+
+void BinaryWriter::u32(std::uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out_.write(bytes, sizeof bytes);
+}
+
+void BinaryWriter::u64(std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out_.write(bytes, sizeof bytes);
+}
+
+void BinaryWriter::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::f64(double value) {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::bytes(std::string_view data) {
+  out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void BinaryWriter::str(std::string_view data) {
+  if (data.size() > kMaxBinaryStringBytes) {
+    throw std::invalid_argument(
+        "binary writer: string field exceeds the size cap");
+  }
+  u32(static_cast<std::uint32_t>(data.size()));
+  bytes(data);
+}
+
+void BinaryReader::fail(const std::string& what) const {
+  throw std::runtime_error(context_ + ": " + what);
+}
+
+std::uint8_t BinaryReader::u8(const char* what) {
+  char byte = 0;
+  in_.read(&byte, 1);
+  if (in_.gcount() != 1) fail(std::string("truncated ") + what);
+  return static_cast<std::uint8_t>(byte);
+}
+
+bool BinaryReader::boolean(const char* what) {
+  const std::uint8_t value = u8(what);
+  if (value > 1) fail(std::string("malformed boolean in ") + what);
+  return value == 1;
+}
+
+std::uint32_t BinaryReader::u32(const char* what) {
+  char bytes[4];
+  in_.read(bytes, sizeof bytes);
+  if (in_.gcount() != sizeof bytes) fail(std::string("truncated ") + what);
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t BinaryReader::u64(const char* what) {
+  char bytes[8];
+  in_.read(bytes, sizeof bytes);
+  if (in_.gcount() != sizeof bytes) fail(std::string("truncated ") + what);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::int64_t BinaryReader::i64(const char* what) {
+  return static_cast<std::int64_t>(u64(what));
+}
+
+double BinaryReader::f64(const char* what) {
+  return std::bit_cast<double>(u64(what));
+}
+
+std::string BinaryReader::bytes(std::uint64_t count, const char* what) {
+  std::string out(static_cast<std::size_t>(count), '\0');
+  in_.read(out.data(), static_cast<std::streamsize>(count));
+  if (static_cast<std::uint64_t>(in_.gcount()) != count) {
+    fail(std::string("truncated ") + what);
+  }
+  return out;
+}
+
+std::string BinaryReader::str(const char* what) {
+  const std::uint32_t length = u32(what);
+  if (length > kMaxBinaryStringBytes) {
+    fail(std::string(what) + " exceeds the size cap");
+  }
+  return bytes(length, what);
+}
+
+void BinaryReader::expect_eof(const char* what) {
+  if (in_.peek() != std::char_traits<char>::eof()) fail(what);
+}
+
+}  // namespace canids::util

@@ -1,0 +1,68 @@
+// Little-endian binary framing shared by the versioned on-disk formats
+// (model bundles, campaign partial reports). One implementation of the
+// primitives keeps the formats' strictness in lockstep: truncation at any
+// byte throws, counts and string lengths are capped before allocation,
+// and doubles travel as raw IEEE-754 bit patterns so persisted metrics
+// round-trip bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace canids::util {
+
+/// Cap on one length-prefixed string field (64 MiB): a corrupted length
+/// must fail fast instead of attempting a huge allocation.
+inline constexpr std::uint64_t kMaxBinaryStringBytes = 64ull << 20;
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);  ///< raw IEEE-754 bits, bit-exact round trip
+  /// Raw bytes, no length prefix (magic strings, pre-framed payloads).
+  void bytes(std::string_view data);
+  /// u32 length prefix + bytes. Throws std::invalid_argument above
+  /// kMaxBinaryStringBytes.
+  void str(std::string_view data);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Strict reader: every primitive names what it reads, and any violation
+/// throws std::runtime_error("<context>: ...") — a half-written or
+/// foreign file must never parse silently.
+class BinaryReader {
+ public:
+  BinaryReader(std::istream& in, std::string context)
+      : in_(in), context_(std::move(context)) {}
+
+  /// Throw std::runtime_error("<context>: <what>").
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::uint8_t u8(const char* what);
+  /// u8 constrained to 0/1 — any other byte is corruption, not a bool.
+  bool boolean(const char* what);
+  std::uint32_t u32(const char* what);
+  std::uint64_t u64(const char* what);
+  std::int64_t i64(const char* what);
+  double f64(const char* what);
+  std::string bytes(std::uint64_t count, const char* what);
+  /// u32 length prefix + bytes, capped at kMaxBinaryStringBytes.
+  std::string str(const char* what);
+  /// Reject anything after the last field of the format.
+  void expect_eof(const char* what);
+
+ private:
+  std::istream& in_;
+  std::string context_;
+};
+
+}  // namespace canids::util

@@ -169,6 +169,12 @@ TEST(MuterModelIoTest, LoadRejectsMalformedStreams) {
                                "min_threshold 0.01\nmin_window_frames 20\n"
                                "mean_entropy 3\nthreshold 0.1\n"),
                std::runtime_error);
+  // A negative frame count must not wrap through stoull into a detector
+  // whose evaluation floor no window can reach.
+  EXPECT_THROW((void)load_text("canids-muter-model v1\nalpha 5\n"
+                               "min_threshold 0.01\nmin_window_frames -1\n"
+                               "mean_entropy 3\nthreshold 0.1\n"),
+               std::runtime_error);
   EXPECT_THROW((void)load_text("canids-muter-model v1\nalpha 5\n"
                                "min_threshold 0.01\nmin_window_frames 20\n"
                                "mean_entropy nan\nthreshold 0.1\n"),

@@ -50,6 +50,7 @@
 #include "attacks/scenario.h"
 #include "baselines/interval_ids.h"
 #include "baselines/muter_entropy.h"
+#include "campaign/partial.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
 #include "campaign/spec.h"
@@ -93,7 +94,8 @@ void print_usage(std::FILE* out) {
                "[--window S] [--lead-in S] [--duration S] "
                "[--training-windows N] [--workers N] [--model BUNDLE] "
                "[--template PATH] [--save-models PATH] "
-               "[--captures DIR] [--labels CSV] [--quiet]\n"
+               "[--captures DIR] [--labels CSV] [--shard I/N] [--quiet]\n"
+               "  canids campaign merge <out-dir> <partial>... [--quiet]\n"
                "\n"
                "`train --save PATH` (or the positional form) writes a model "
                "bundle carrying every trained model; <models> is a bundle "
@@ -101,7 +103,11 @@ void print_usage(std::FILE* out) {
                "`--model PATH`/`--template PATH` in place of the "
                "positional argument. `campaign --model BUNDLE` cold-starts "
                "the sweep with zero training passes; `--captures DIR` "
-               "replays recorded traces scored against DIR/labels.csv.\n");
+               "replays recorded traces scored against DIR/labels.csv. "
+               "`--shard I/N` runs slice I of N of the trial grid and "
+               "writes a partial-report file to --out; `campaign merge` "
+               "reassembles all N partials into the full report directory, "
+               "byte-identical to the unsharded run.\n");
 }
 
 int usage() {
@@ -723,7 +729,63 @@ std::vector<double> parse_number_list(const std::string& value,
   return numbers;
 }
 
+void print_cell_table(const campaign::CampaignReport& report) {
+  util::Table table({"detector", "scenario", "rate Hz", "Dr", "TPR", "FPR",
+                     "F1", "AUC", "latency s", "infer"});
+  for (const campaign::CampaignCell& cell : report.cells) {
+    table.add_row(
+        {cell.detector,
+         !cell.capture.empty()
+             ? cell.capture
+             : cell.sweep_id
+                   ? "id " + std::to_string(*cell.sweep_id)
+                   : std::string(campaign::scenario_token(cell.kind)),
+         util::Table::num(cell.frequency_hz, 0),
+         util::Table::percent(cell.detection_rate),
+         util::Table::percent(cell.tpr), util::Table::percent(cell.fpr),
+         util::Table::num(cell.f1, 3), util::Table::num(cell.auc, 3),
+         cell.mean_latency_seconds
+             ? util::Table::num(*cell.mean_latency_seconds, 2)
+             : std::string("--"),
+         cell.inference_accuracy
+             ? util::Table::percent(*cell.inference_accuracy)
+             : std::string("--")});
+  }
+  table.print(std::cout);
+}
+
+int cmd_campaign_merge(std::vector<std::string> args) {
+  const bool quiet = arg_flag(args, "--quiet");
+  if (args.size() < 2) {
+    throw UsageError{"usage: canids campaign merge <out-dir> <partial>..."};
+  }
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      throw UsageError{"unknown or misplaced argument '" + arg + "'"};
+    }
+  }
+  const std::string out_dir = args.front();
+  std::vector<campaign::PartialReport> partials;
+  partials.reserve(args.size() - 1);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    partials.push_back(campaign::PartialReport::load_file(args[i]));
+  }
+  const campaign::CampaignReport report =
+      campaign::merge_partials(std::move(partials));
+  if (!quiet) print_cell_table(report);
+  report.write_all(out_dir);
+  std::printf("merged %zu partials: %zu trials, %zu cells -> "
+              "%s/{trials.csv, cells.csv, roc.csv, report.json}\n",
+              args.size() - 1, report.trials.size(), report.cells.size(),
+              out_dir.c_str());
+  return 0;
+}
+
 int cmd_campaign(std::vector<std::string> args) {
+  if (!args.empty() && args.front() == "merge") {
+    args.erase(args.begin());
+    return cmd_campaign_merge(std::move(args));
+  }
   // Base spec: --smoke preset, a JSON spec file, or the defaults; grid
   // flags below override whichever base was chosen.
   campaign::CampaignSpec spec;
@@ -806,6 +868,13 @@ int cmd_campaign(std::vector<std::string> args) {
   if (const auto workers = arg_integer(args, "--workers", 0, 4096)) {
     spec.workers = static_cast<int>(*workers);
   }
+  if (const auto shard = arg_string(args, "--shard")) {
+    try {
+      spec.shard = campaign::ShardSelector::parse(*shard);
+    } catch (const std::exception& e) {
+      throw UsageError{e.what()};
+    }
+  }
   if (const auto tpl = arg_string(args, "--template")) {
     spec.template_path = *tpl;
   }
@@ -822,6 +891,10 @@ int cmd_campaign(std::vector<std::string> args) {
   const auto out_dir = arg_string(args, "--out");
   const bool quiet = arg_flag(args, "--quiet");
   reject_leftovers(args);
+  if (spec.shard && !out_dir) {
+    throw UsageError{"--shard writes a partial-report file: pass --out PATH "
+                     "(then `canids campaign merge` reassembles the shards)"};
+  }
 
   campaign::CampaignRunner runner(std::move(spec));
   if (runner.spec().capture_mode()) {
@@ -855,32 +928,21 @@ int cmd_campaign(std::vector<std::string> args) {
                 runner.spec().sweep_ids.empty() ? "scenarios" : "IDs",
                 runner.spec().rates_hz.size(), runner.spec().seeds);
   }
+  if (runner.spec().shard) {
+    std::printf("  shard %s: this process runs %zu of those trials\n",
+                runner.spec().shard->to_string().c_str(),
+                runner.spec().sharded_plan().size());
+  }
 
-  const campaign::CampaignReport report = runner.run();
-
-  if (!quiet) {
-    util::Table table({"detector", "scenario", "rate Hz", "Dr", "TPR", "FPR",
-                       "F1", "AUC", "latency s", "infer"});
-    for (const campaign::CampaignCell& cell : report.cells) {
-      table.add_row(
-          {cell.detector,
-           !cell.capture.empty()
-               ? cell.capture
-               : cell.sweep_id
-                     ? "id " + std::to_string(*cell.sweep_id)
-                     : std::string(campaign::scenario_token(cell.kind)),
-           util::Table::num(cell.frequency_hz, 0),
-           util::Table::percent(cell.detection_rate),
-           util::Table::percent(cell.tpr), util::Table::percent(cell.fpr),
-           util::Table::num(cell.f1, 3), util::Table::num(cell.auc, 3),
-           cell.mean_latency_seconds
-               ? util::Table::num(*cell.mean_latency_seconds, 2)
-               : std::string("--"),
-           cell.inference_accuracy
-               ? util::Table::percent(*cell.inference_accuracy)
-               : std::string("--")});
-    }
-    table.print(std::cout);
+  // Sharded execution: run the slice, persist the mergeable partial, and
+  // keep the stats line (CI greps "training passes: 0" on cold starts).
+  std::optional<campaign::PartialReport> partial;
+  std::optional<campaign::CampaignReport> report;
+  if (runner.spec().shard) {
+    partial = runner.run_shard();
+  } else {
+    report = runner.run();
+    if (!quiet) print_cell_table(*report);
   }
 
   const campaign::CampaignRunStats& stats = runner.stats();
@@ -894,8 +956,13 @@ int cmd_campaign(std::vector<std::string> args) {
     model::save_models_file(*save_models, runner.models().stored());
     std::printf("models -> %s\n", save_models->c_str());
   }
-  if (out_dir) {
-    report.write_all(*out_dir);
+  if (partial) {
+    partial->save_file(*out_dir);
+    std::printf("shard %s (%zu of %zu trials) -> %s\n",
+                partial->shard.to_string().c_str(), partial->rows.size(),
+                partial->spec.trial_count(), out_dir->c_str());
+  } else if (out_dir) {
+    report->write_all(*out_dir);
     std::printf("report -> %s/{trials.csv, cells.csv, roc.csv, report.json}\n",
                 out_dir->c_str());
   }
