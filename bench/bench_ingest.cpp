@@ -1,0 +1,207 @@
+// INGEST — the capture-to-counters hot path: how fast frames move from a
+// recorded trace into the per-bit counters. Two axes:
+//
+//   * format — candump text (parsed line by line) vs. the compact binary
+//     trace format (fixed 22-byte records decoded without text parsing);
+//   * kernel — the scalar lane counters vs. the runtime-dispatched
+//     SSE2/AVX2 batch kernels behind BitCounters::add_batch.
+//
+//   ./bench_ingest
+//
+// Emits BENCH_ingest.json for the CI bench-trajectory artifact. The SHAPE
+// verdict requires the binary round trip to be lossless, every kernel to
+// produce identical counters, and binary ingest to beat text by >= 5x
+// (the acceptance bar: decoding fixed records must dominate re-parsing
+// hex text).
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ids/bit_counters.h"
+#include "trace/binary_trace.h"
+#include "trace/candump.h"
+#include "trace/synthetic_vehicle.h"
+#include "trace/trace_io.h"
+#include "util/bench_json.h"
+#include "util/simd.h"
+#include "util/table.h"
+
+using namespace canids;
+
+namespace {
+
+constexpr util::TimeNs kDriveSeconds = 60 * util::kSecond;
+constexpr std::uint64_t kSeed = 0x1D5EED;
+/// Each measurement repeats full passes until this much wall clock has
+/// elapsed (one warm-up pass first), so the fast paths still get enough
+/// iterations to time on a noisy machine.
+constexpr double kMinSeconds = 0.25;
+
+/// Run `pass` (returns frames processed) repeatedly and report frames/sec.
+template <typename Fn>
+double measure_fps(Fn&& pass) {
+  (void)pass();  // warm-up: page in the input, prime allocators
+  std::uint64_t frames = 0;
+  const util::BenchTimer timer;
+  do {
+    frames += pass();
+  } while (timer.seconds() < kMinSeconds);
+  return static_cast<double>(frames) / timer.seconds();
+}
+
+/// Drain a source through the bulk fill() path, counting frames.
+std::uint64_t drain_count(trace::TraceSource& source,
+                          std::vector<can::TimedFrame>& buffer) {
+  std::uint64_t frames = 0;
+  for (;;) {
+    buffer.clear();
+    if (source.fill(buffer, 4096) == 0) break;
+    frames += buffer.size();
+  }
+  return frames;
+}
+
+/// Sum of all per-bit counters — the value every kernel must agree on.
+std::uint64_t counters_checksum(const ids::BitCounters& counters) {
+  std::uint64_t sum = counters.total();
+  for (int bit = 0; bit < can::kStdIdBits; ++bit) {
+    sum = sum * 31 + counters.ones(bit);
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout,
+                     "Ingest hot path — binary vs. text trace decode and "
+                     "SIMD vs. scalar bit counting");
+
+  // One recorded drive, rendered once into both formats.
+  const trace::SyntheticVehicle vehicle;
+  const trace::Trace capture = vehicle.record_trace(
+      trace::DrivingBehavior::kCity, kDriveSeconds, kSeed);
+
+  std::ostringstream text_out;
+  trace::save_trace(text_out, capture, trace::TraceFormat::kCandump);
+  const std::string text = text_out.str();
+  std::ostringstream binary_out;
+  trace::save_trace(binary_out, capture, trace::TraceFormat::kBinary);
+  const std::string binary = binary_out.str();
+
+  // Lossless round trip: binary -> records -> candump must re-render to
+  // the exact text the original produced.
+  bool round_trip_ok = false;
+  {
+    std::istringstream in(binary);
+    const trace::Trace reloaded = trace::load_trace(in);
+    std::ostringstream rerendered;
+    trace::save_trace(rerendered, reloaded, trace::TraceFormat::kCandump);
+    round_trip_ok =
+        reloaded.size() == capture.size() && rerendered.str() == text;
+  }
+
+  std::vector<can::TimedFrame> buffer;
+  buffer.reserve(4096);
+  const double text_fps = measure_fps([&] {
+    std::istringstream in(text);
+    trace::CandumpSource source(in);
+    return drain_count(source, buffer);
+  });
+  const double binary_fps = measure_fps([&] {
+    std::istringstream in(binary);
+    trace::BinaryTraceSource source(in);
+    return drain_count(source, buffer);
+  });
+  const double binary_vs_text = text_fps > 0.0 ? binary_fps / text_fps : 0.0;
+
+  // Kernel axis: the same ID block through BitCounters::add_batch at every
+  // SIMD level this build + CPU can run. Checksums must agree exactly.
+  std::vector<std::uint32_t> raw_ids;
+  raw_ids.reserve(capture.size());
+  for (const trace::LogRecord& record : capture) {
+    raw_ids.push_back(record.frame.id().raw());
+  }
+  const util::SimdLevel detected = util::detected_simd_level();
+  double kernel_fps[3] = {0.0, 0.0, 0.0};
+  std::uint64_t kernel_checksum[3] = {0, 0, 0};
+  for (const util::SimdLevel level :
+       {util::SimdLevel::kScalar, util::SimdLevel::kSse2,
+        util::SimdLevel::kAvx2}) {
+    const auto index = static_cast<std::size_t>(level);
+    if (level > detected) continue;
+    util::set_simd_level(level);
+    ids::BitCounters counters;
+    kernel_fps[index] = measure_fps([&] {
+      counters.reset();
+      counters.add_batch(raw_ids.data(), raw_ids.size());
+      return raw_ids.size();
+    });
+    counters.reset();
+    counters.add_batch(raw_ids.data(), raw_ids.size());
+    kernel_checksum[index] = counters_checksum(counters);
+  }
+  util::set_simd_level(detected);
+  bool kernels_match = true;
+  double best_kernel_fps = kernel_fps[0];
+  for (std::size_t index = 1; index < 3; ++index) {
+    if (kernel_fps[index] == 0.0) continue;
+    kernels_match = kernels_match && kernel_checksum[index] == kernel_checksum[0];
+    if (kernel_fps[index] > best_kernel_fps) best_kernel_fps = kernel_fps[index];
+  }
+  const double best_vs_scalar =
+      kernel_fps[0] > 0.0 ? best_kernel_fps / kernel_fps[0] : 0.0;
+
+  util::Table table({"path", "frames/s", "vs baseline"});
+  char value[64];
+  char ratio[64];
+  std::snprintf(value, sizeof value, "%.0f", text_fps);
+  table.add_row({"candump text ingest", value, "1.00x"});
+  std::snprintf(value, sizeof value, "%.0f", binary_fps);
+  std::snprintf(ratio, sizeof ratio, "%.2fx", binary_vs_text);
+  table.add_row({"binary ingest", value, ratio});
+  for (const util::SimdLevel level :
+       {util::SimdLevel::kScalar, util::SimdLevel::kSse2,
+        util::SimdLevel::kAvx2}) {
+    const auto index = static_cast<std::size_t>(level);
+    std::string label =
+        std::string("add_batch ") + std::string(util::simd_level_name(level));
+    if (kernel_fps[index] == 0.0) {
+      table.add_row({label, "--", "unavailable"});
+      continue;
+    }
+    std::snprintf(value, sizeof value, "%.0f", kernel_fps[index]);
+    std::snprintf(ratio, sizeof ratio, "%.2fx",
+                  kernel_fps[0] > 0.0 ? kernel_fps[index] / kernel_fps[0]
+                                      : 0.0);
+    table.add_row({label, value, ratio});
+  }
+  table.print(std::cout);
+  std::printf("trace: %zu frames, %zu text bytes, %zu binary bytes\n",
+              capture.size(), text.size(), binary.size());
+
+  util::write_bench_json(
+      "ingest",
+      {{"frames", static_cast<double>(capture.size())},
+       {"text_fps", text_fps},
+       {"binary_fps", binary_fps},
+       {"binary_vs_text", binary_vs_text},
+       {"kernel_scalar_fps", kernel_fps[0]},
+       {"kernel_sse2_fps", kernel_fps[1]},
+       {"kernel_avx2_fps", kernel_fps[2]},
+       {"kernel_best_vs_scalar", best_vs_scalar},
+       {"simd_level", static_cast<double>(static_cast<int>(detected))}});
+
+  const bool ok = round_trip_ok && kernels_match && binary_vs_text >= 5.0;
+  if (!round_trip_ok) std::printf("FAIL: binary round trip not lossless\n");
+  if (!kernels_match) std::printf("FAIL: kernel checksums disagree\n");
+  if (binary_vs_text < 5.0) {
+    std::printf("FAIL: binary ingest only %.2fx text (need >= 5x)\n",
+                binary_vs_text);
+  }
+  std::cout << (ok ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -82,6 +82,35 @@ std::optional<WindowVerdict> BitEntropyBackend::on_frame(
   return std::nullopt;
 }
 
+void BitEntropyBackend::on_frames(const can::TimedId* frames,
+                                  std::size_t count,
+                                  std::vector<WindowVerdict>& out) {
+  std::size_t i = 0;
+  while (i < count) {
+    if (frames[i].id.width() != golden_->width) {
+      // Same contract as on_frame: the frame is dropped but its timestamp
+      // still drives the window clock (ensemble alignment invariant).
+      ++counters_.frames;
+      ++counters_.dropped_frames;
+      if (auto report = pipeline_.on_gap(frames[i].timestamp)) {
+        out.push_back(verdict_of(*report));
+      }
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < count && frames[j].id.width() == golden_->width) ++j;
+    counters_.frames += j - i;
+    report_scratch_.clear();
+    pipeline_.on_frames(frames + i, j - i, report_scratch_);
+    for (const ids::WindowReport& report : report_scratch_) {
+      out.push_back(verdict_of(report));
+    }
+    i = j;
+  }
+  report_scratch_.clear();
+}
+
 std::optional<WindowVerdict> BitEntropyBackend::finish() {
   if (auto report = pipeline_.finish()) {
     return verdict_of(*report);

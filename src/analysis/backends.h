@@ -41,6 +41,11 @@ class BitEntropyBackend final : public DetectorBackend,
 
   std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
                                         const can::CanId& id) override;
+  /// The batched hot path: width-matching runs flow block-wise through
+  /// IdsPipeline::on_frames (SIMD-counted); results are bit-identical to
+  /// the per-frame loop.
+  void on_frames(const can::TimedId* frames, std::size_t count,
+                 std::vector<WindowVerdict>& out) override;
   std::optional<WindowVerdict> finish() override;
   [[nodiscard]] const ids::PipelineCounters& counters() const override {
     return counters_;
@@ -69,6 +74,7 @@ class BitEntropyBackend final : public DetectorBackend,
   ids::PipelineConfig config_;
   ids::IdsPipeline pipeline_;
   ids::PipelineCounters counters_;
+  std::vector<ids::WindowReport> report_scratch_;  ///< on_frames buffer
 };
 
 /// Whole-ID-distribution entropy (Müter & Asaj [8]).

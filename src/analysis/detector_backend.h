@@ -123,6 +123,19 @@ class DetectorBackend {
   virtual std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
                                                 const can::CanId& id) = 0;
 
+  /// Feed a block of frames, appending the verdict of every window they
+  /// close to `out`, in close order. Semantically identical to calling
+  /// on_frame per item; backends with a batched hot path (bit-entropy)
+  /// override this, everything else inherits the loop.
+  virtual void on_frames(const can::TimedId* frames, std::size_t count,
+                         std::vector<WindowVerdict>& out) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (auto verdict = on_frame(frames[i].timestamp, frames[i].id)) {
+        out.push_back(std::move(*verdict));
+      }
+    }
+  }
+
   /// Close and judge the partially-filled final window, if any.
   virtual std::optional<WindowVerdict> finish() = 0;
 

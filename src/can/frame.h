@@ -123,6 +123,15 @@ class Frame {
   std::array<std::uint8_t, kMaxDataBytes> data_{};
 };
 
+/// A timestamped identifier — the compact item the batched scoring path
+/// passes around (fleet queues, DetectorBackend::on_frames). The entropy
+/// detectors only read the ID, so batches move 16 bytes per frame instead
+/// of a whole TimedFrame.
+struct TimedId {
+  util::TimeNs timestamp = 0;
+  CanId id;
+};
+
 /// A frame together with its (simulated or logged) completion timestamp and
 /// the index of the transmitting node (kUnknownSource for parsed logs).
 struct TimedFrame {

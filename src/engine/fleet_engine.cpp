@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -66,8 +68,18 @@ FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
     : prototype_(std::move(prototype)), config_(config) {
   CANIDS_EXPECTS(prototype_ != nullptr);
   CANIDS_EXPECTS(config_.shards >= 0);
-  CANIDS_EXPECTS(config_.queue_capacity > 0);
-  CANIDS_EXPECTS(config_.drain_batch > 0);
+  // Loud, catchable validation (these come straight from CLI flags): the
+  // SPSC ring indexes with a capacity mask, so reject anything that is not
+  // a power of two instead of silently rounding or asserting.
+  if (config_.queue_capacity == 0 ||
+      (config_.queue_capacity & (config_.queue_capacity - 1)) != 0) {
+    throw std::invalid_argument(
+        "FleetConfig::queue_capacity must be a power of two, got " +
+        std::to_string(config_.queue_capacity));
+  }
+  if (config_.drain_batch == 0) {
+    throw std::invalid_argument("FleetConfig::drain_batch must be positive");
+  }
   shard_count_ =
       config_.shards > 0
           ? config_.shards
@@ -145,12 +157,16 @@ void FleetEngine::handle_verdict(StreamState& stream,
 void FleetEngine::worker_loop(Shard& shard) {
   std::vector<FrameItem> batch;
   batch.reserve(config_.drain_batch);
+  std::vector<analysis::WindowVerdict> verdicts;
 
   auto feed = [&](StreamState& stream) {
-    for (const FrameItem& item : batch) {
-      if (auto verdict = stream.backend->on_frame(item.timestamp, item.id)) {
-        handle_verdict(stream, std::move(*verdict));
-      }
+    // One batched backend call per drained block — the SIMD-counted hot
+    // path; verdicts come back in close order, exactly as per-frame calls
+    // would have produced them.
+    verdicts.clear();
+    stream.backend->on_frames(batch.data(), batch.size(), verdicts);
+    for (analysis::WindowVerdict& verdict : verdicts) {
+      handle_verdict(stream, std::move(verdict));
     }
   };
 
@@ -231,35 +247,43 @@ FleetRunResult run_fleet(FleetEngine& engine,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= sources.size()) break;
       FleetEngine::Stream stream = streams[i];
+      std::vector<can::TimedFrame> frames;
+      frames.reserve(kIngestBatch);
       std::vector<FleetEngine::FrameItem> batch;
       batch.reserve(kIngestBatch);
       trace::TraceSource& source = *sources[i].source;
       for (;;) {
-        std::optional<can::TimedFrame> frame;
+        frames.clear();
+        bool parse_error = false;
+        bool fatal = false;
         try {
-          frame = source.next();
+          source.fill(frames, kIngestBatch);
         } catch (const trace::ParseError&) {
-          // A malformed line: the parsers have already consumed it, so the
-          // stream recovers on the next call. Count it and keep going.
+          // A malformed line: the parser consumed it, frames decoded
+          // before it are already in `frames`, and the source recovers on
+          // the next call. Count it and keep going.
+          parse_error = true;
           stream.record_parse_error();
-          continue;
         } catch (const std::exception& e) {
-          // Anything else (I/O failure, truncated container) is fatal for
-          // this stream; frames pushed so far are kept.
+          // Anything else (I/O failure, binary-trace corruption) is fatal
+          // for this stream; frames pushed so far are kept.
+          fatal = true;
           const std::lock_guard<std::mutex> lock(error_mutex);
           result.errors.emplace_back(stream.key(), e.what());
-          break;
         }
-        if (!frame) break;
-        batch.push_back(
-            FleetEngine::FrameItem{frame->timestamp, frame->frame.id()});
-        if (batch.size() == kIngestBatch) {
-          stream.push_batch(batch.data(), batch.size());
+        if (!frames.empty()) {
           batch.clear();
+          for (const can::TimedFrame& frame : frames) {
+            batch.push_back(
+                FleetEngine::FrameItem{frame.timestamp, frame.frame.id()});
+          }
+          stream.push_batch(batch.data(), batch.size());
         }
+        if (fatal) break;
+        // An empty batch without a parse error is end of stream (a parse
+        // error can legitimately yield zero frames and must not end it).
+        if (frames.empty() && !parse_error) break;
       }
-      if (!batch.empty()) stream.push_batch(batch.data(), batch.size());
-      batch.clear();
       stream.close();
     }
   };

@@ -41,7 +41,9 @@ struct FleetConfig {
   /// Worker shards; 0 = one per available hardware thread.
   int shards = 0;
   /// Bounded frames buffered per stream between its producer and shard
-  /// (backpressure: push blocks when full, so memory stays bounded).
+  /// (backpressure: push blocks when full, so memory stays bounded). Must
+  /// be a power of two — the SPSC ring is mask-indexed — or the engine
+  /// constructor throws std::invalid_argument.
   std::size_t queue_capacity = 8192;
   /// Max frames a worker drains from one stream before rotating to its
   /// next stream (fairness bound under load).
@@ -68,12 +70,10 @@ class FleetEngine {
   struct StreamState;
 
  public:
-  /// One queued frame. Identifiers are kept as CanId so extended-frame
-  /// streams work unchanged.
-  struct FrameItem {
-    util::TimeNs timestamp = 0;
-    can::CanId id;
-  };
+  /// One queued frame — the shared compact item (timestamp + CanId), so
+  /// extended-frame streams work unchanged and drained batches flow
+  /// straight into DetectorBackend::on_frames without conversion.
+  using FrameItem = can::TimedId;
 
   /// Producer-side handle to one stream. At most one thread may push into
   /// a given stream at a time (the queue below is single-producer).

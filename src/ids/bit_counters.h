@@ -4,6 +4,7 @@
 // whole-distribution entropy baseline [8].
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -11,6 +12,7 @@
 
 #include "can/frame.h"
 #include "ids/binary_entropy.h"
+#include "ids/simd_kernels.h"
 #include "util/contracts.h"
 
 namespace canids::ids {
@@ -55,6 +57,29 @@ class BitCountersT {
   void add(const can::CanId& id) {
     CANIDS_EXPECTS(id.width() == Width);
     add(id.raw());
+  }
+
+  /// Count a block of identifiers. Bit-identical to calling add() per id —
+  /// lane-spill timing is unobservable (ones() folds pending lanes) — but
+  /// the table-assisted path pushes the whole block through the dispatched
+  /// SIMD kernels (util::active_simd_level), chunked so no 16-bit lane can
+  /// saturate mid-batch.
+  void add_batch(const std::uint32_t* ids, std::size_t count) noexcept {
+    if constexpr (kTableAssisted) {
+      const simd::LaneAddFn add_fn = simd::lane_add_kernel();
+      const std::uint64_t* table = lane_table().front().data();
+      total_ += count;
+      while (count > 0) {
+        const auto chunk = std::min<std::size_t>(count, kLaneLimit - pending_);
+        add_fn(lanes_.data(), table, kIdMask, ids, chunk);
+        pending_ += static_cast<std::uint32_t>(chunk);
+        ids += chunk;
+        count -= chunk;
+        if (pending_ == kLaneLimit) spill();
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) add(ids[i]);
+    }
   }
 
   void reset() noexcept {
@@ -141,7 +166,11 @@ class BitCountersT {
   static constexpr int kLanesPerWord = 4;  // 16-bit lanes in a u64
   static constexpr int kWords = (Width + kLanesPerWord - 1) / kLanesPerWord;
   static constexpr std::uint32_t kLaneLimit = 0xFFFF;  // lane saturation
-  using LaneRow = std::array<std::uint64_t, static_cast<std::size_t>(kWords)>;
+  static_assert(!kTableAssisted || kWords <= simd::kLaneRowWords);
+  /// Rows are padded to simd::kLaneRowWords (one 256-bit vector) so the
+  /// batched kernels never need a per-row tail; padding words stay zero.
+  using LaneRow =
+      std::array<std::uint64_t, static_cast<std::size_t>(simd::kLaneRowWords)>;
   using LaneTable =
       std::array<LaneRow, kTableAssisted ? (std::size_t{1} << Width) : 0>;
 
@@ -168,20 +197,27 @@ class BitCountersT {
            0xFFFF;
   }
 
-  /// Fold the lane accumulators into the 64-bit counters.
+  /// Fold the lane accumulators into the 64-bit counters (dispatched SIMD
+  /// kernel; ones_ is padded so it may store whole lane words).
   void spill() noexcept {
-    for (int i = 0; i < Width; ++i) {
-      ones_[static_cast<std::size_t>(i)] += lane(i);
-    }
+    simd::lane_spill_kernel()(lanes_.data(), ones_.data(), kWords);
     lanes_.fill(0);
     pending_ = 0;
   }
 
-  std::array<std::uint64_t, static_cast<std::size_t>(Width)> ones_{};
+  /// Slots in ones_: table-assisted counters pad to whole lane words
+  /// (kLanesPerWord * kWords) so the spill kernel can write four 64-bit
+  /// lanes per word without a tail; padding slots stay zero forever.
+  static constexpr std::size_t kOnesSlots =
+      kTableAssisted ? static_cast<std::size_t>(kLanesPerWord * kWords)
+                     : static_cast<std::size_t>(Width);
+
+  std::array<std::uint64_t, kOnesSlots> ones_{};
   std::uint64_t total_ = 0;
   /// Lane accumulators; empty for wide counters, which count directly.
+  /// Padded like LaneRow so the add kernels work in whole vectors.
   std::array<std::uint64_t,
-             kTableAssisted ? static_cast<std::size_t>(kWords) : 0>
+             kTableAssisted ? static_cast<std::size_t>(simd::kLaneRowWords) : 0>
       lanes_{};
   std::uint32_t pending_ = 0;
 };
@@ -224,16 +260,21 @@ class PairCountersT {
   /// per set bit (~10 increments instead of ~50 for typical identifiers).
   void add(std::uint32_t raw_id) noexcept {
     marginals_.add(raw_id);
-    std::uint32_t rest = raw_id & BitCountersT<Width>::kIdMask;
-    while (rest != 0) {
-      const int hi = std::bit_width(rest) - 1;  // highest set bit, LSB = 0
-      const int i = Width - 1 - hi;             // MSB-first index
-      rest &= ~(1u << hi);
-      for (std::uint32_t lower = rest; lower != 0; lower &= lower - 1) {
-        const int j = Width - 1 - std::countr_zero(lower);
-        ++pair_ones_[static_cast<std::size_t>(pair_index(i, j, Width))];
-      }
-    }
+    add_pairs(raw_id);
+  }
+
+  /// Count only the marginal bit counters — the WindowAccumulator path for
+  /// track_pairs=false configs, which previously paid the pair loop anyway.
+  void add_marginal(std::uint32_t raw_id) noexcept { marginals_.add(raw_id); }
+
+  /// Batch-count a block of identifiers; bit-identical to per-frame calls.
+  /// Marginals go through the dispatched SIMD kernels; the pair updates
+  /// (O(popcount^2), data-dependent scatter) stay scalar.
+  void add_batch(const std::uint32_t* ids, std::size_t count,
+                 bool with_pairs) noexcept {
+    marginals_.add_batch(ids, count);
+    if (!with_pairs) return;
+    for (std::size_t i = 0; i < count; ++i) add_pairs(ids[i]);
   }
 
   void reset() noexcept {
@@ -274,6 +315,19 @@ class PairCountersT {
   }
 
  private:
+  void add_pairs(std::uint32_t raw_id) noexcept {
+    std::uint32_t rest = raw_id & BitCountersT<Width>::kIdMask;
+    while (rest != 0) {
+      const int hi = std::bit_width(rest) - 1;  // highest set bit, LSB = 0
+      const int i = Width - 1 - hi;             // MSB-first index
+      rest &= ~(1u << hi);
+      for (std::uint32_t lower = rest; lower != 0; lower &= lower - 1) {
+        const int j = Width - 1 - std::countr_zero(lower);
+        ++pair_ones_[static_cast<std::size_t>(pair_index(i, j, Width))];
+      }
+    }
+  }
+
   BitCountersT<Width> marginals_;
   std::array<std::uint64_t, static_cast<std::size_t>(kPairs)> pair_ones_{};
 };

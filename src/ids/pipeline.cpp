@@ -47,6 +47,17 @@ std::optional<WindowReport> IdsPipeline::on_frame(util::TimeNs timestamp,
   return std::nullopt;
 }
 
+void IdsPipeline::on_frames(const can::TimedId* frames, std::size_t count,
+                            std::vector<WindowReport>& out) {
+  counters_.frames += count;
+  snapshot_scratch_.clear();
+  accumulator_.add_batch(frames, count, snapshot_scratch_);
+  for (WindowSnapshot& snapshot : snapshot_scratch_) {
+    out.push_back(judge(std::move(snapshot)));
+  }
+  snapshot_scratch_.clear();
+}
+
 std::optional<WindowReport> IdsPipeline::on_gap(util::TimeNs timestamp) {
   if (auto snapshot = accumulator_.advance(timestamp)) {
     return judge(std::move(*snapshot));

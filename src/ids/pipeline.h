@@ -77,6 +77,14 @@ class IdsPipeline {
   std::optional<WindowReport> on_frame(util::TimeNs timestamp,
                                        const can::CanId& id);
 
+  /// Batch path: feed `count` frames, appending the report of every window
+  /// they close to `out`, in close order. Bit-identical to on_frame per
+  /// frame (the detector is stateless, so deferred judging changes
+  /// nothing); windowing and counting run block-wise through the SIMD
+  /// kernels.
+  void on_frames(const can::TimedId* frames, std::size_t count,
+                 std::vector<WindowReport>& out);
+
   /// Advance the window clock for a frame the caller skips (e.g. an
   /// identifier whose width the template cannot represent): the frame is
   /// not counted, but its timestamp may still close the current window —
@@ -118,6 +126,7 @@ class IdsPipeline {
   std::optional<InferenceEngine> inference_;
   PipelineCounters counters_;
   std::function<void(const WindowReport&)> alert_handler_;
+  std::vector<WindowSnapshot> snapshot_scratch_;  ///< on_frames buffer
 };
 
 }  // namespace canids::ids

@@ -1,0 +1,103 @@
+#include "ids/simd_kernels.h"
+
+#include "util/simd.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace canids::ids::simd {
+
+void lane_add_scalar(std::uint64_t* lanes, const std::uint64_t* table,
+                     std::uint32_t mask, const std::uint32_t* ids,
+                     std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* row =
+        table + static_cast<std::size_t>(ids[i] & mask) * kLaneRowWords;
+    for (int w = 0; w < kLaneRowWords; ++w) lanes[w] += row[w];
+  }
+}
+
+void lane_spill_scalar(const std::uint64_t* lanes, std::uint64_t* ones,
+                       int words) noexcept {
+  for (int w = 0; w < words; ++w) {
+    for (int l = 0; l < 4; ++l) {
+      ones[4 * w + l] += (lanes[w] >> (16 * l)) & 0xFFFFu;
+    }
+  }
+}
+
+#if defined(__SSE2__)
+
+void lane_add_sse2(std::uint64_t* lanes, const std::uint64_t* table,
+                   std::uint32_t mask, const std::uint32_t* ids,
+                   std::size_t count) noexcept {
+  __m128i acc0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  __m128i acc1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 2));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* row =
+        table + static_cast<std::size_t>(ids[i] & mask) * kLaneRowWords;
+    acc0 = _mm_add_epi64(
+        acc0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(row)));
+    acc1 = _mm_add_epi64(
+        acc1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 2)));
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes + 2), acc1);
+}
+
+void lane_spill_sse2(const std::uint64_t* lanes, std::uint64_t* ones,
+                     int words) noexcept {
+  const __m128i zero = _mm_setzero_si128();
+  for (int w = 0; w < words; ++w) {
+    // Widen the word's four 16-bit lanes to four u64 via two zero-unpacks
+    // (SSE2 has no cvtepu16), then add into ones[4w .. 4w+4).
+    const __m128i packed = _mm_cvtsi64_si128(static_cast<long long>(lanes[w]));
+    const __m128i as32 = _mm_unpacklo_epi16(packed, zero);
+    const __m128i lo = _mm_unpacklo_epi32(as32, zero);  // lanes 0, 1
+    const __m128i hi = _mm_unpackhi_epi32(as32, zero);  // lanes 2, 3
+    std::uint64_t* out = ones + 4 * w;
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out),
+        _mm_add_epi64(_mm_loadu_si128(reinterpret_cast<const __m128i*>(out)),
+                      lo));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + 2),
+        _mm_add_epi64(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + 2)), hi));
+  }
+}
+
+#endif  // __SSE2__
+
+LaneAddFn lane_add_kernel() noexcept {
+  switch (util::active_simd_level()) {
+#if defined(CANIDS_HAVE_AVX2)
+    case util::SimdLevel::kAvx2:
+      return lane_add_avx2;
+#endif
+#if defined(__SSE2__)
+    case util::SimdLevel::kSse2:
+      return lane_add_sse2;
+#endif
+    default:
+      return lane_add_scalar;
+  }
+}
+
+LaneSpillFn lane_spill_kernel() noexcept {
+  switch (util::active_simd_level()) {
+#if defined(CANIDS_HAVE_AVX2)
+    case util::SimdLevel::kAvx2:
+      return lane_spill_avx2;
+#endif
+#if defined(__SSE2__)
+    case util::SimdLevel::kSse2:
+      return lane_spill_sse2;
+#endif
+    default:
+      return lane_spill_scalar;
+  }
+}
+
+}  // namespace canids::ids::simd

@@ -1,0 +1,42 @@
+// AVX2 lane kernels, isolated in the one translation unit CMake compiles
+// with -mavx2 (see CANIDS_ENABLE_AVX2). The whole file compiles away in
+// AVX2-disabled builds so no AVX2 instruction can leak into them; runtime
+// dispatch (util::detected_simd_level) keeps the kernels off the path on
+// CPUs without AVX2 even when they are compiled in.
+#include "ids/simd_kernels.h"
+
+#if defined(CANIDS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace canids::ids::simd {
+
+void lane_add_avx2(std::uint64_t* lanes, const std::uint64_t* table,
+                   std::uint32_t mask, const std::uint32_t* ids,
+                   std::size_t count) noexcept {
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* row =
+        table + static_cast<std::size_t>(ids[i] & mask) * kLaneRowWords;
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row)));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+}
+
+void lane_spill_avx2(const std::uint64_t* lanes, std::uint64_t* ones,
+                     int words) noexcept {
+  for (int w = 0; w < words; ++w) {
+    const __m128i packed = _mm_cvtsi64_si128(static_cast<long long>(lanes[w]));
+    const __m256i wide = _mm256_cvtepu16_epi64(packed);  // 4 x u16 -> 4 x u64
+    std::uint64_t* out = ones + 4 * w;
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out),
+        _mm256_add_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out)), wide));
+  }
+}
+
+}  // namespace canids::ids::simd
+
+#endif  // CANIDS_HAVE_AVX2

@@ -62,6 +62,14 @@ class WindowAccumulator {
   std::optional<WindowSnapshot> add(util::TimeNs timestamp,
                                     const can::CanId& id);
 
+  /// Batch path: feed `count` timestamped identifiers, appending the
+  /// snapshot of every window they close to `out`. Bit-identical to
+  /// calling add() per frame — the batch is split at window boundaries and
+  /// each in-window run is block-counted through the SIMD kernels
+  /// (PairCounters::add_batch).
+  void add_batch(const can::TimedId* frames, std::size_t count,
+                 std::vector<WindowSnapshot>& out);
+
   /// Advance the window clock without counting a frame — for frames the
   /// caller must skip (e.g. width-mismatched identifiers) that still carry
   /// time. Keeps this accumulator's window boundaries aligned with
@@ -82,10 +90,20 @@ class WindowAccumulator {
   [[nodiscard]] WindowSnapshot snapshot(util::TimeNs start,
                                         util::TimeNs end) const;
 
+  /// Count one identifier, paying the pair counters only when configured.
+  void count_one(const can::CanId& id) {
+    if (config_.track_pairs) {
+      counters_.add(id.raw());
+    } else {
+      counters_.add_marginal(id.raw());
+    }
+  }
+
   WindowConfig config_;
   PairCounters counters_;
   util::WindowClock clock_;
   util::TimeNs last_timestamp_ = 0;
+  std::vector<std::uint32_t> scratch_ids_;  ///< add_batch run buffer
 };
 
 /// Split a whole identifier stream into window snapshots in one call.

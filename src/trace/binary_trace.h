@@ -1,0 +1,101 @@
+// The compact binary trace format ("canidsBT"): one small fixed-size
+// record per frame, so replay ingest is a bulk read plus integer decode
+// instead of text parsing — the fixed-record trick embedded CAN capture
+// tools use (19-byte records on ESP32-class loggers; 22 bytes here to
+// carry nanosecond timestamps and 29-bit extended identifiers losslessly).
+//
+// Layout (little-endian, header via util::BinaryWriter/Reader):
+//
+//   bytes     "canidsBT"                    magic (8)
+//   u32       format version                currently 1
+//   u64       record count
+//   u8        channel count                 distinct names, first-appearance
+//   str x N   channel names                 u32 length + bytes
+//   record x count, kBinaryRecordBytes (22) each:
+//     i64     timestamp (ns)
+//     u32     id word: bits 0-28 raw identifier, bit 29 extended,
+//             bit 30 remote, bit 31 reserved (must be 0)
+//     u8      channel index
+//     u8      dlc
+//     u8[8]   payload (bytes past dlc zero; all zero for remote frames)
+//
+// Loading is strict in the ModelBundle/PartialReport mold: bad magic or
+// version, out-of-range identifiers, non-canonical payload padding,
+// truncation at any byte, and trailing bytes after the final record all
+// throw std::runtime_error. Deliberately NOT ParseError: a malformed text
+// line is a recoverable local defect, binary corruption never is — so the
+// fleet engine treats it as a fatal stream error instead of skip-one.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/log_record.h"
+#include "trace/trace_source.h"
+
+namespace canids::trace {
+
+inline constexpr std::string_view kBinaryTraceMagic = "canidsBT";
+inline constexpr std::uint32_t kBinaryTraceVersion = 1;
+/// Encoded size of one frame record.
+inline constexpr std::size_t kBinaryRecordBytes = 22;
+/// Channel names are indexed by one byte.
+inline constexpr std::size_t kMaxBinaryChannels = 255;
+
+/// True when the stream starts with the binary-trace magic; the stream is
+/// rewound either way. The auto-detection hook behind detect_format.
+[[nodiscard]] bool is_binary_trace(std::istream& in);
+
+/// Write the whole trace in canidsBT form. Throws std::invalid_argument
+/// when the trace carries more than kMaxBinaryChannels distinct channels.
+void write_binary_trace(std::ostream& out, const Trace& trace);
+
+/// Read a whole stream (strict: rejects truncation and trailing bytes).
+[[nodiscard]] Trace read_binary_trace(std::istream& in);
+
+/// Streams a binary trace in constant memory, record-by-record or
+/// block-wise via fill(). The header is read eagerly at construction.
+class BinaryTraceSource final : public RecordSource {
+ public:
+  /// Stream variant: `in` must outlive the source.
+  explicit BinaryTraceSource(std::istream& in);
+  /// File variant: opens the path in binary mode; throws std::runtime_error
+  /// when it cannot be opened.
+  explicit BinaryTraceSource(const std::filesystem::path& path);
+
+  std::optional<LogRecord> next_record() override;
+  /// The block path: bulk-reads up to `max` fixed-size records and decodes
+  /// them straight to TimedFrame — no per-record channel-string work.
+  std::size_t fill(std::vector<can::TimedFrame>& out,
+                   std::size_t max) override;
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return record_count_;
+  }
+  [[nodiscard]] const std::vector<std::string>& channels() const noexcept {
+    return channels_;
+  }
+
+ private:
+  void read_header();
+  [[nodiscard]] can::TimedFrame decode(const unsigned char* record,
+                                       std::uint64_t index,
+                                       std::uint8_t& channel_index) const;
+  [[noreturn]] void corrupt(const std::string& what) const;
+  /// Bulk-read up to `want` records into buffer_; 0 only at a clean end.
+  std::size_t read_records(std::size_t want);
+
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_;
+  std::vector<std::string> channels_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t records_read_ = 0;
+  std::vector<unsigned char> buffer_;
+};
+
+}  // namespace canids::trace

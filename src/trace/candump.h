@@ -40,6 +40,7 @@ class CandumpSource final : public RecordSource {
  private:
   std::unique_ptr<std::istream> owned_;
   std::istream* in_;
+  std::string line_;  ///< reused per getline — one allocation per source
   std::size_t line_number_ = 0;
 };
 

@@ -4,13 +4,34 @@
 #include <set>
 #include <sstream>
 
+#include "trace/binary_trace.h"
 #include "trace/candump.h"
 #include "trace/vspy_csv.h"
 #include "util/csv.h"
 
 namespace canids::trace {
 
+std::string_view trace_format_name(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kCandump:
+      return "candump";
+    case TraceFormat::kVspyCsv:
+      return "vspy";
+    case TraceFormat::kBinary:
+      return "binary";
+  }
+  return "candump";
+}
+
+std::optional<TraceFormat> trace_format_from_token(std::string_view token) {
+  if (token == "candump") return TraceFormat::kCandump;
+  if (token == "vspy") return TraceFormat::kVspyCsv;
+  if (token == "binary") return TraceFormat::kBinary;
+  return std::nullopt;
+}
+
 TraceFormat detect_format(std::istream& in) {
+  if (is_binary_trace(in)) return TraceFormat::kBinary;
   const std::streampos start = in.tellg();
   std::string line;
   TraceFormat format = TraceFormat::kCandump;
@@ -29,7 +50,7 @@ TraceFormat detect_format(std::istream& in) {
 }
 
 TraceFormat detect_format_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open trace file: " + path.string());
   }
@@ -43,6 +64,8 @@ std::unique_ptr<RecordSource> open_trace_source(
       return std::make_unique<CandumpSource>(path);
     case TraceFormat::kVspyCsv:
       return std::make_unique<VspyCsvSource>(path);
+    case TraceFormat::kBinary:
+      return std::make_unique<BinaryTraceSource>(path);
   }
   throw ParseError("unknown trace format");
 }
@@ -53,6 +76,8 @@ Trace load_trace(std::istream& in) {
       return read_candump(in);
     case TraceFormat::kVspyCsv:
       return read_vspy_csv(in);
+    case TraceFormat::kBinary:
+      return read_binary_trace(in);
   }
   throw ParseError("unknown trace format");
 }
@@ -69,12 +94,17 @@ void save_trace(std::ostream& out, const Trace& trace, TraceFormat format) {
     case TraceFormat::kVspyCsv:
       write_vspy_csv(out, trace);
       return;
+    case TraceFormat::kBinary:
+      write_binary_trace(out, trace);
+      return;
   }
 }
 
 void save_trace_file(const std::filesystem::path& path, const Trace& trace,
                      TraceFormat format) {
-  std::ofstream out(path);
+  std::ofstream out(path, format == TraceFormat::kBinary
+                              ? std::ios::out | std::ios::binary
+                              : std::ios::out);
   if (!out) {
     throw std::runtime_error("cannot open trace file for writing: " +
                              path.string());

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <iosfwd>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "can/bus.h"
 #include "trace/log_record.h"
@@ -12,12 +14,19 @@
 
 namespace canids::trace {
 
-enum class TraceFormat : std::uint8_t { kCandump, kVspyCsv };
+enum class TraceFormat : std::uint8_t { kCandump, kVspyCsv, kBinary };
 
-/// Guess the format from the first non-empty line of content.
+/// CLI token for a format: "candump" / "vspy" / "binary".
+[[nodiscard]] std::string_view trace_format_name(TraceFormat format);
+/// Inverse of trace_format_name; nullopt for an unknown token.
+[[nodiscard]] std::optional<TraceFormat> trace_format_from_token(
+    std::string_view token);
+
+/// Guess the format from the content head: the canidsBT magic means
+/// binary, otherwise the first non-empty line decides (candump vs CSV).
 [[nodiscard]] TraceFormat detect_format(std::istream& in);
 
-/// Guess the format from the first non-empty line of a file.
+/// Guess the format from the head of a file.
 [[nodiscard]] TraceFormat detect_format_file(const std::filesystem::path& path);
 
 /// Open a capture file as a streaming source, auto-detecting the format.

@@ -6,10 +6,22 @@
 
 namespace canids::trace {
 
+std::size_t TraceSource::fill(std::vector<can::TimedFrame>& out,
+                              std::size_t max) {
+  std::size_t added = 0;
+  while (added < max) {
+    auto frame = next();
+    if (!frame) break;
+    out.push_back(std::move(*frame));
+    ++added;
+  }
+  return added;
+}
+
 std::vector<can::TimedFrame> TraceSource::drain() {
+  constexpr std::size_t kDrainChunk = 4096;
   std::vector<can::TimedFrame> frames;
-  while (auto frame = next()) {
-    frames.push_back(std::move(*frame));
+  while (fill(frames, kDrainChunk) > 0) {
   }
   return frames;
 }
@@ -44,6 +56,16 @@ MemorySource::MemorySource(const Trace& trace) {
 std::optional<can::TimedFrame> MemorySource::next() {
   if (index_ >= frames_.size()) return std::nullopt;
   return frames_[index_++];
+}
+
+std::size_t MemorySource::fill(std::vector<can::TimedFrame>& out,
+                               std::size_t max) {
+  const std::size_t take = std::min(max, frames_.size() - index_);
+  const auto first =
+      frames_.begin() + static_cast<std::ptrdiff_t>(index_);
+  out.insert(out.end(), first, first + static_cast<std::ptrdiff_t>(take));
+  index_ += take;
+  return take;
 }
 
 BusStreamSource::BusStreamSource(can::BusSimulator& bus, util::TimeNs duration,

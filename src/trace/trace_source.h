@@ -27,6 +27,16 @@ class TraceSource {
   /// ParseError (annotated with the line number) on malformed input.
   virtual std::optional<can::TimedFrame> next() = 0;
 
+  /// Bulk read: append up to `max` frames to `out`, returning how many
+  /// were appended; 0 means end of stream. Parsing sources may throw
+  /// ParseError mid-batch — frames appended before the malformed line are
+  /// kept in `out` (diff against the pre-call size) and the source
+  /// recovers on the following call. The base implementation loops next();
+  /// block-layout sources (MemorySource, BinaryTraceSource) override it
+  /// with real block copies.
+  virtual std::size_t fill(std::vector<can::TimedFrame>& out,
+                           std::size_t max);
+
   /// Drain every remaining frame — the batch path, for callers that want
   /// the old fully-materialized behaviour.
   [[nodiscard]] std::vector<can::TimedFrame> drain();
@@ -54,6 +64,8 @@ class MemorySource final : public TraceSource {
   explicit MemorySource(const Trace& trace);
 
   std::optional<can::TimedFrame> next() override;
+  std::size_t fill(std::vector<can::TimedFrame>& out,
+                   std::size_t max) override;
 
  private:
   std::vector<can::TimedFrame> frames_;

@@ -136,10 +136,9 @@ VspyCsvSource::VspyCsvSource(const std::filesystem::path& path)
 }
 
 std::optional<LogRecord> VspyCsvSource::next_record() {
-  std::string line;
-  while (std::getline(*in_, line)) {
+  while (std::getline(*in_, line_)) {
     ++line_number_;
-    const std::string_view body = util::trim(line);
+    const std::string_view body = util::trim(line_);
     if (body.empty()) continue;
     if (!header_seen_) {
       if (body.find("Time") == std::string_view::npos ||

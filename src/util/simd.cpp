@@ -1,0 +1,72 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace canids::util {
+
+namespace {
+
+[[nodiscard]] SimdLevel cpu_supported_level() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(CANIDS_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#if defined(__SSE2__)
+  return SimdLevel::kSse2;
+#endif
+#endif
+  return SimdLevel::kScalar;
+}
+
+[[nodiscard]] SimdLevel initial_level() noexcept {
+  SimdLevel level = cpu_supported_level();
+  if (const char* env = std::getenv("CANIDS_SIMD")) {
+    // The override can only lower the level: requesting a kernel the CPU
+    // or build lacks silently clamps rather than crashing on dispatch.
+    if (const auto requested = parse_simd_level(env);
+        requested && *requested < level) {
+      level = *requested;
+    }
+  }
+  return level;
+}
+
+std::atomic<SimdLevel>& active_level() noexcept {
+  static std::atomic<SimdLevel> level{initial_level()};
+  return level;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+std::optional<SimdLevel> parse_simd_level(std::string_view name) noexcept {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse2") return SimdLevel::kSse2;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  return std::nullopt;
+}
+
+SimdLevel detected_simd_level() noexcept { return cpu_supported_level(); }
+
+SimdLevel active_simd_level() noexcept {
+  return active_level().load(std::memory_order_relaxed);
+}
+
+void set_simd_level(SimdLevel level) noexcept {
+  if (level > detected_simd_level()) level = detected_simd_level();
+  active_level().store(level, std::memory_order_relaxed);
+}
+
+}  // namespace canids::util

@@ -370,6 +370,71 @@ TEST(TrainableBackendTest, ExportBeforeCalibrationThrows) {
   }
 }
 
+/// Run a backend over frames through on_frames in `chunk`-sized blocks.
+[[nodiscard]] std::vector<WindowVerdict> run_backend_batched(
+    DetectorBackend& backend, const std::vector<can::TimedFrame>& frames,
+    std::size_t chunk) {
+  std::vector<can::TimedId> items;
+  items.reserve(frames.size());
+  for (const can::TimedFrame& frame : frames) {
+    items.push_back(can::TimedId{frame.timestamp, frame.frame.id()});
+  }
+  std::vector<WindowVerdict> verdicts;
+  for (std::size_t i = 0; i < items.size(); i += chunk) {
+    backend.on_frames(items.data() + i,
+                      std::min(chunk, items.size() - i), verdicts);
+  }
+  if (auto verdict = backend.finish()) verdicts.push_back(std::move(*verdict));
+  return verdicts;
+}
+
+TEST(BitEntropyBackendTest, OnFramesMatchesPerFrameFeeding) {
+  const BackendWorld world;
+  auto frames = world.make_trace(11, 6, {2, 4});
+  // Splice width-mismatched frames throughout: the batch path must split
+  // runs around them and route each through the dropped-frame path.
+  for (std::size_t i = 100; i < frames.size(); i += 487) {
+    frames[i].frame = can::Frame::data_frame(
+        can::CanId::extended(0x1ABCDEF0 + static_cast<std::uint32_t>(i)), {});
+  }
+
+  const auto reference = make_detector("bit-entropy", world.options());
+  const auto expected = run_backend(*reference, frames);
+  ASSERT_GT(alert_count(expected), 0u) << "fixture must actually alert";
+
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{37}, frames.size()}) {
+    const auto backend = make_detector("bit-entropy", world.options());
+    const auto verdicts = run_backend_batched(*backend, frames, chunk);
+    ASSERT_EQ(verdicts.size(), expected.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(verdicts[i], expected[i]) << "chunk " << chunk << " " << i;
+    }
+    EXPECT_EQ(backend->counters().frames, reference->counters().frames);
+    EXPECT_EQ(backend->counters().dropped_frames,
+              reference->counters().dropped_frames);
+    EXPECT_EQ(backend->counters().alerts, reference->counters().alerts);
+  }
+}
+
+TEST(DetectorBackendTest, DefaultOnFramesMatchesPerFrame) {
+  // Backends without a batch override go through the base-class loop; the
+  // ensemble (whose members include self-calibrating baselines) is the
+  // most stateful of them.
+  const BackendWorld world;
+  const auto frames = world.make_trace(12, 6, {3, 4});
+  for (const char* name : {"symbol-entropy", "interval", "ensemble"}) {
+    const auto reference = make_detector(name, world.options(2));
+    const auto expected = run_backend(*reference, frames);
+    const auto backend = make_detector(name, world.options(2));
+    const auto verdicts = run_backend_batched(*backend, frames, 61);
+    ASSERT_EQ(verdicts.size(), expected.size()) << name;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(verdicts[i], expected[i]) << name << " window " << i;
+    }
+  }
+}
+
 TEST(DetectorCountersTest, WindowAccountingIsConsistent) {
   const BackendWorld world;
   for (const char* name :

@@ -362,5 +362,54 @@ TEST(FleetEngineTest, ParseErrorsAreCountedAndIngestRecovers) {
   EXPECT_GT(engine.totals().parse_errors, 0u);
 }
 
+TEST(FleetEngineTest, RejectsInvalidQueueAndBatchConfig) {
+  const FleetWorld world;
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{1000},
+                                     std::size_t{3}}) {
+    FleetConfig config;
+    config.queue_capacity = capacity;
+    EXPECT_THROW(FleetEngine(world.golden, config), std::invalid_argument)
+        << "queue_capacity " << capacity;
+  }
+  {
+    FleetConfig config;
+    config.drain_batch = 0;
+    EXPECT_THROW(FleetEngine(world.golden, config), std::invalid_argument);
+  }
+  // Power-of-two capacities (including 1) construct fine.
+  FleetConfig config;
+  config.queue_capacity = 1;
+  FleetEngine engine(world.golden, config);
+  EXPECT_EQ(engine.config().queue_capacity, 1u);
+}
+
+TEST(FleetEngineTest, TinyQueueAndDrainBatchStillMatchSequential) {
+  // The batched queue publish/drain must degrade gracefully at the
+  // smallest legal sizes — heavy backpressure, one frame per publish.
+  const FleetWorld world;
+  const std::vector<can::TimedFrame> frames = world.make_trace(51, 4, {2});
+
+  ids::IdsPipeline sequential(world.golden, {}, world.pipeline_config());
+  for (const can::TimedFrame& frame : frames) {
+    (void)sequential.on_frame(frame.timestamp, frame.frame.id());
+  }
+  (void)sequential.finish();
+  const std::uint64_t expected_alerts = sequential.counters().alerts;
+
+  FleetConfig config;
+  config.shards = 2;
+  config.queue_capacity = 2;
+  config.drain_batch = 1;
+  config.pipeline = world.pipeline_config();
+  FleetEngine engine(world.golden, config);
+  std::vector<NamedSource> sources;
+  sources.push_back(NamedSource{
+      "tiny", std::make_unique<trace::MemorySource>(frames), {}});
+  FleetRunResult run = run_fleet(engine, std::move(sources));
+  ASSERT_TRUE(run.errors.empty());
+  EXPECT_EQ(engine.totals().frames, frames.size());
+  EXPECT_EQ(engine.totals().alerts, expected_alerts);
+}
+
 }  // namespace
 }  // namespace canids::engine

@@ -81,10 +81,11 @@ TEST(BitCountersTest, ExtendedCounterWorks) {
 }
 
 TEST(BitCountersTest, StateBytesIsConstantAndSmall) {
-  // The §V.E claim: per-bus state independent of traffic. 11 counters +
-  // total (12 * 8 bytes) plus the table-assisted hot path's three packed
-  // lane words and pending count (24 + 4 bytes).
-  EXPECT_EQ(BitCounters::state_bytes(), 96u + 24u + 4u);
+  // The §V.E claim: per-bus state independent of traffic. 11 counters
+  // padded to whole lane words for the SIMD spill (12 * 8 bytes) + total
+  // (8) plus the hot path's lane accumulator padded to one 256-bit vector
+  // (32) and pending count (4).
+  EXPECT_EQ(BitCounters::state_bytes(), 96u + 8u + 32u + 4u);
   // The 29-bit counter has no lane table: 29 counters + total.
   EXPECT_EQ(BitCounters29::state_bytes(), 240u);
 }

@@ -1,0 +1,203 @@
+// Equivalence of the dispatched SIMD kernels with the scalar counters: the
+// batch paths must be bit-identical to per-frame feeding at every level
+// this build + CPU can run, including across lane spills and window
+// boundaries.
+#include "ids/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ids/bit_counters.h"
+#include "ids/window.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace canids::ids {
+namespace {
+
+/// Every level this build + CPU can actually run.
+[[nodiscard]] std::vector<util::SimdLevel> available_levels() {
+  std::vector<util::SimdLevel> levels;
+  for (const util::SimdLevel level :
+       {util::SimdLevel::kScalar, util::SimdLevel::kSse2,
+        util::SimdLevel::kAvx2}) {
+    if (level <= util::detected_simd_level()) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// Restores the active level when a test exits, pass or fail.
+struct LevelGuard {
+  ~LevelGuard() { util::set_simd_level(util::detected_simd_level()); }
+};
+
+[[nodiscard]] std::vector<std::uint32_t> random_ids(std::size_t count,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(rng.below(can::kMaxStdId + 1)));
+  }
+  return ids;
+}
+
+TEST(SimdLevelTest, SetIsClampedToDetected) {
+  const LevelGuard guard;
+  util::set_simd_level(util::SimdLevel::kAvx2);
+  EXPECT_LE(util::active_simd_level(), util::detected_simd_level());
+  util::set_simd_level(util::SimdLevel::kScalar);
+  EXPECT_EQ(util::active_simd_level(), util::SimdLevel::kScalar);
+}
+
+TEST(SimdLevelTest, ParseAndNameRoundTrip) {
+  for (const util::SimdLevel level :
+       {util::SimdLevel::kScalar, util::SimdLevel::kSse2,
+        util::SimdLevel::kAvx2}) {
+    const auto parsed = util::parse_simd_level(util::simd_level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(util::parse_simd_level("avx512").has_value());
+}
+
+TEST(SimdKernelsTest, AddBatchMatchesPerAddAtEveryLevel) {
+  const LevelGuard guard;
+  // Long enough to cross the 0xFFFF-frame lane spill mid-batch.
+  const std::vector<std::uint32_t> ids = random_ids(70'000, 11);
+
+  BitCounters reference;
+  for (const std::uint32_t id : ids) reference.add(id);
+
+  for (const util::SimdLevel level : available_levels()) {
+    util::set_simd_level(level);
+    BitCounters batched;
+    batched.add_batch(ids.data(), ids.size());
+    ASSERT_EQ(batched.total(), reference.total())
+        << util::simd_level_name(level);
+    for (int bit = 0; bit < can::kStdIdBits; ++bit) {
+      EXPECT_EQ(batched.ones(bit), reference.ones(bit))
+          << util::simd_level_name(level) << " bit " << bit;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, SplitBatchesMatchOneBatch) {
+  const LevelGuard guard;
+  const std::vector<std::uint32_t> ids = random_ids(10'000, 23);
+  for (const util::SimdLevel level : available_levels()) {
+    util::set_simd_level(level);
+    BitCounters whole;
+    whole.add_batch(ids.data(), ids.size());
+    BitCounters pieces;
+    std::size_t i = 0;
+    for (const std::size_t chunk : {1u, 7u, 63u, 500u, 9429u}) {
+      pieces.add_batch(ids.data() + i, chunk);
+      i += chunk;
+    }
+    ASSERT_EQ(i, ids.size());
+    for (int bit = 0; bit < can::kStdIdBits; ++bit) {
+      EXPECT_EQ(pieces.ones(bit), whole.ones(bit))
+          << util::simd_level_name(level) << " bit " << bit;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ExtendedWidthBatchMatchesPerAdd) {
+  // Width 29 has no lane table — the batch path must still agree.
+  util::Rng rng(3);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 5'000; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(rng.below(can::kMaxExtId + 1)));
+  }
+  BitCounters29 reference;
+  for (const std::uint32_t id : ids) reference.add(id);
+  BitCounters29 batched;
+  batched.add_batch(ids.data(), ids.size());
+  for (int bit = 0; bit < can::kExtIdBits; ++bit) {
+    EXPECT_EQ(batched.ones(bit), reference.ones(bit)) << "bit " << bit;
+  }
+}
+
+TEST(SimdKernelsTest, PairCountersBatchMatchesPerAddBothModes) {
+  const LevelGuard guard;
+  const std::vector<std::uint32_t> ids = random_ids(4'096, 7);
+  for (const util::SimdLevel level : available_levels()) {
+    util::set_simd_level(level);
+    for (const bool with_pairs : {true, false}) {
+      PairCounters reference;
+      for (const std::uint32_t id : ids) {
+        if (with_pairs) {
+          reference.add(id);
+        } else {
+          reference.add_marginal(id);
+        }
+      }
+      PairCounters batched;
+      batched.add_batch(ids.data(), ids.size(), with_pairs);
+      EXPECT_EQ(batched.total(), reference.total());
+      EXPECT_EQ(batched.marginals().probabilities(),
+                reference.marginals().probabilities());
+      if (with_pairs) {
+        EXPECT_EQ(batched.pair_probabilities(),
+                  reference.pair_probabilities());
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, WindowAccumulatorBatchMatchesPerFrame) {
+  const LevelGuard guard;
+  // 8 seconds of irregular traffic with a 3-second silence gap, so the
+  // batch path must close windows mid-block and skip the silent ones.
+  util::Rng rng(99);
+  std::vector<can::TimedId> frames;
+  util::TimeNs now = 0;
+  for (int i = 0; i < 4'000; ++i) {
+    now += static_cast<util::TimeNs>(rng.below(2'000'000)) + 1;
+    if (i == 2'000) now += 3 * util::kSecond;
+    frames.push_back(can::TimedId{
+        now,
+        can::CanId::standard(static_cast<std::uint32_t>(rng.below(0x800)))});
+  }
+
+  for (const util::SimdLevel level : available_levels()) {
+    util::set_simd_level(level);
+    for (const bool track_pairs : {true, false}) {
+      WindowConfig config;
+      config.track_pairs = track_pairs;
+
+      WindowAccumulator reference(config);
+      std::vector<WindowSnapshot> expected;
+      for (const can::TimedId& frame : frames) {
+        if (auto snap = reference.add(frame.timestamp, frame.id)) {
+          expected.push_back(std::move(*snap));
+        }
+      }
+
+      // Feed the same stream in uneven blocks.
+      WindowAccumulator accumulator(config);
+      std::vector<WindowSnapshot> got;
+      std::size_t i = 0;
+      while (i < frames.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(frames.size() - i, 1 + rng.below(700));
+        accumulator.add_batch(frames.data() + i, chunk, got);
+        i += chunk;
+      }
+
+      ASSERT_EQ(got.size(), expected.size())
+          << util::simd_level_name(level) << " pairs=" << track_pairs;
+      for (std::size_t w = 0; w < expected.size(); ++w) {
+        EXPECT_EQ(got[w], expected[w]) << "window " << w;
+      }
+      EXPECT_EQ(accumulator.flush().has_value(),
+                reference.flush().has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace canids::ids

@@ -44,10 +44,32 @@ TEST(DetectFormatTest, SkipsLeadingBlankLines) {
   EXPECT_EQ(detect_format(in), TraceFormat::kCandump);
 }
 
+TEST(DetectFormatTest, BinaryByMagic) {
+  std::stringstream io;
+  save_trace(io, tiny_trace(), TraceFormat::kBinary);
+  EXPECT_EQ(detect_format(io), TraceFormat::kBinary);
+  // The stream is rewound, so a full load still works.
+  const Trace trace = load_trace(io);
+  EXPECT_EQ(trace.size(), tiny_trace().size());
+}
+
+TEST(TraceFormatTest, TokenRoundTrip) {
+  for (TraceFormat format :
+       {TraceFormat::kCandump, TraceFormat::kVspyCsv,
+        TraceFormat::kBinary}) {
+    const auto parsed =
+        trace_format_from_token(trace_format_name(format));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, format);
+  }
+  EXPECT_FALSE(trace_format_from_token("pcap").has_value());
+}
+
 TEST(LoadSaveTest, RoundTripBothFormats) {
   const Trace original = tiny_trace();
   for (TraceFormat format :
-       {TraceFormat::kCandump, TraceFormat::kVspyCsv}) {
+       {TraceFormat::kCandump, TraceFormat::kVspyCsv,
+        TraceFormat::kBinary}) {
     std::stringstream io;
     save_trace(io, original, format);
     const Trace reread = load_trace(io);

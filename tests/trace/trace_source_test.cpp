@@ -164,5 +164,61 @@ TEST(TraceSourceTest, SyntheticStreamingMatchesBatchRecording) {
   EXPECT_EQ(i, batch.size()) << "streaming truncated the drive";
 }
 
+TEST(TraceSourceTest, FillReadsInChunksAndStopsAtEnd) {
+  // The base-class fill (CandumpSource doesn't override it) must honour
+  // `max`, append without clearing, and return 0 only at end of stream.
+  std::ostringstream text;
+  write_candump(text, sample_trace());
+  std::istringstream in(text.str());
+  CandumpSource source(in);
+
+  std::vector<can::TimedFrame> frames;
+  EXPECT_EQ(source.fill(frames, 2), 2u);
+  EXPECT_EQ(frames.size(), 2u);
+  EXPECT_EQ(source.fill(frames, 10), 1u);
+  EXPECT_EQ(frames.size(), 3u);
+  EXPECT_EQ(source.fill(frames, 10), 0u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].frame, sample_trace()[i].frame);
+  }
+}
+
+TEST(TraceSourceTest, MemorySourceFillMatchesNext) {
+  const SyntheticVehicle vehicle;
+  auto all =
+      vehicle.stream_trace(DrivingBehavior::kIdle, util::kSecond, 1)->drain();
+  ASSERT_GT(all.size(), 10u);
+
+  MemorySource source(all);
+  std::vector<can::TimedFrame> frames;
+  while (source.fill(frames, 7) > 0) {
+  }
+  ASSERT_EQ(frames.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(frames[i].timestamp, all[i].timestamp);
+    EXPECT_EQ(frames[i].frame, all[i].frame);
+  }
+}
+
+TEST(TraceSourceTest, FillKeepsFramesDecodedBeforeAParseError) {
+  // Two good lines, a malformed one, two more good lines: the first fill
+  // must surface both pre-error frames with the ParseError, and the
+  // source must recover on the following calls.
+  std::istringstream in(
+      "(0.001) can0 0D1#80\n"
+      "(0.002) can0 0D2#81\n"
+      "this is not a frame\n"
+      "(0.003) can0 0D3#82\n"
+      "(0.004) can0 0D4#83\n");
+  CandumpSource source(in);
+  std::vector<can::TimedFrame> frames;
+  EXPECT_THROW((void)source.fill(frames, 100), ParseError);
+  EXPECT_EQ(frames.size(), 2u);
+  EXPECT_EQ(source.fill(frames, 100), 2u);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames.back().frame.id().raw(), 0x0D4u);
+  EXPECT_EQ(source.fill(frames, 100), 0u);
+}
+
 }  // namespace
 }  // namespace canids::trace

@@ -1,6 +1,9 @@
 // canids — command-line front end to the library.
 //
 //   canids info <capture>                      summarise a CAN log
+//   canids convert <in> <out> [--to FORMAT]    re-encode a capture
+//       (candump|vspy|binary; default binary — the compact fixed-record
+//       trace format the ingest hot path reads without text parsing)
 //   canids train <bundle-out> <clean>...       train every model -> bundle
 //   canids detectors                           list registered detector backends
 //   canids models inspect <bundle>             describe a model bundle
@@ -10,6 +13,7 @@
 //   canids fleet <models> <dir|capture>...     sharded multi-vehicle analysis
 //       [--detector NAME] [--shards N] [--producers N] [--alpha A]
 //       [--window S] [--no-pairs] [--calibrate N] [--quiet]
+//       [--queue-capacity N] [--drain-batch N]
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
 //   canids campaign [spec.json] [--smoke] [--out DIR] [grid flags...]
@@ -25,7 +29,8 @@
 // anywhere a bundle is accepted. `campaign --save-models PATH` persists the
 // models a campaign trained; `--model`/`--template` are both accepted on
 // detect/fleet in place of the positional models argument. Captures may be
-// candump logs or Vehicle-Spy-style CSV (auto-detected). `detect` and
+// candump logs, Vehicle-Spy-style CSV, or the compact binary trace format
+// (all auto-detected; `canids convert` moves between them losslessly). `detect` and
 // `fleet` run any backend registered in the DetectorRegistry (default: the
 // paper's bit-entropy detector) through one code path; both exit 0 when
 // the traffic is clean and 2 when intrusions were flagged, so they can
@@ -77,6 +82,7 @@ void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage:\n"
                "  canids info <capture>\n"
+               "  canids convert <in> <out> [--to candump|vspy|binary]\n"
                "  canids train <bundle-out> <clean-capture>...\n"
                "  canids detectors\n"
                "  canids models inspect <bundle>\n"
@@ -85,7 +91,8 @@ void print_usage(std::FILE* out) {
                "[--calibrate N]\n"
                "  canids fleet <models> <dir-or-capture>... "
                "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
-               "[--window S] [--no-pairs] [--calibrate N] [--quiet]\n"
+               "[--window S] [--no-pairs] [--calibrate N] [--quiet] "
+               "[--queue-capacity N] [--drain-batch N]\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
                "[--seed N] [--attack KIND] [--freq HZ]\n"
                "  canids campaign [spec.json] [--smoke] [--out DIR] "
@@ -107,7 +114,9 @@ void print_usage(std::FILE* out) {
                "`--shard I/N` runs slice I of N of the trial grid and "
                "writes a partial-report file to --out; `campaign merge` "
                "reassembles all N partials into the full report directory, "
-               "byte-identical to the unsharded run.\n");
+               "byte-identical to the unsharded run. `convert` re-encodes a "
+               "capture (default --to binary, the compact fixed-record "
+               "format); every command auto-detects all three formats.\n");
 }
 
 int usage() {
@@ -202,6 +211,29 @@ int cmd_info(const std::string& path) {
   std::printf("  distinct IDs  : %zu\n", summary.distinct_ids);
   std::printf("  duration      : %.3f s\n", util::to_seconds(summary.duration));
   std::printf("  frame rate    : %.1f /s\n", summary.frames_per_second);
+  return 0;
+}
+
+/// `canids convert <in> <out> [--to FORMAT]` — lossless re-encode between
+/// the text formats and the compact binary trace format (the default
+/// target: it is what the ingest hot path reads fastest).
+int cmd_convert(const std::string& in_path, const std::string& out_path,
+                std::vector<std::string> args) {
+  trace::TraceFormat format = trace::TraceFormat::kBinary;
+  if (const auto token = arg_string(args, "--to")) {
+    const auto parsed = trace::trace_format_from_token(*token);
+    if (!parsed) {
+      throw UsageError{"--to expects candump, vspy, or binary; got '" +
+                       *token + "'"};
+    }
+    format = *parsed;
+  }
+  reject_leftovers(args);
+
+  const trace::Trace capture = trace::load_trace_file(in_path);
+  trace::save_trace_file(out_path, capture, format);
+  std::printf("%zu frames -> %s (%s)\n", capture.size(), out_path.c_str(),
+              std::string(trace::trace_format_name(format)).c_str());
   return 0;
 }
 
@@ -456,11 +488,16 @@ int cmd_detect(const std::string& models_path, const std::string& capture_path,
   auto report = [&](const analysis::WindowVerdict& verdict) {
     if (verdict.alert) print_alert(nullptr, verdict);
   };
+  // The whole capture goes through the batched hot path in one call —
+  // verdicts come back in window order, identical to per-frame feeding.
+  std::vector<can::TimedId> items;
+  items.reserve(frames.size());
   for (const can::TimedFrame& frame : frames) {
-    if (auto verdict = backend->on_frame(frame.timestamp, frame.frame.id())) {
-      report(*verdict);
-    }
+    items.push_back(can::TimedId{frame.timestamp, frame.frame.id()});
   }
+  std::vector<analysis::WindowVerdict> verdicts;
+  backend->on_frames(items.data(), items.size(), verdicts);
+  for (const analysis::WindowVerdict& verdict : verdicts) report(verdict);
   if (auto verdict = backend->finish()) report(*verdict);
 
   const ids::PipelineCounters& counters = backend->counters();
@@ -521,6 +558,18 @@ int cmd_fleet(const std::string& models_path,
   int producers = 0;
   if (const auto value = arg_number(args, "--producers")) {
     producers = static_cast<int>(*value);
+  }
+  if (const auto capacity =
+          arg_integer(args, "--queue-capacity", 1, 1 << 24)) {
+    if ((*capacity & (*capacity - 1)) != 0) {
+      throw UsageError{
+          "--queue-capacity expects a power of two (the per-stream SPSC "
+          "ring is mask-indexed)"};
+    }
+    config.queue_capacity = static_cast<std::size_t>(*capacity);
+  }
+  if (const auto drain = arg_integer(args, "--drain-batch", 1, 1 << 20)) {
+    config.drain_batch = static_cast<std::size_t>(*drain);
   }
   if (const auto alpha = arg_number(args, "--alpha")) {
     options.pipeline.detector.alpha = *alpha;
@@ -980,6 +1029,14 @@ int main(int argc, char** argv) {
   try {
     if (command == "info" && args.size() == 1) {
       return cmd_info(args[0]);
+    }
+    if (command == "convert") {
+      if (args.size() < 2 || args[0].rfind("--", 0) == 0 ||
+          args[1].rfind("--", 0) == 0) {
+        throw UsageError{
+            "usage: canids convert <in> <out> [--to candump|vspy|binary]"};
+      }
+      return cmd_convert(args[0], args[1], {args.begin() + 2, args.end()});
     }
     if (command == "detectors") {
       if (!args.empty()) {
