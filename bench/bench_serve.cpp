@@ -1,0 +1,318 @@
+// SERVE — the live service's overhead and latency, measured on real
+// sockets. Three numbers the daemon's design hinges on:
+//
+//   direct_frames_per_sec   frames pushed straight into FleetEngine::Stream
+//                           (the in-process ceiling)
+//   socket_frames_per_sec   the same frames as candump lines through a
+//                           Unix-domain socket + LineFramer + parser — the
+//                           full `canids send` -> `canids serve` data path
+//   fanout_latency_*_us     wall time from the window-closing frame hitting
+//                           the socket to the alert JSON line arriving on a
+//                           SUBSCRIBE connection
+//
+//   ./bench_serve              ->  BENCH_serve.json
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/registry.h"
+#include "engine/fleet_engine.h"
+#include "ids/bit_counters.h"
+#include "ids/golden_template.h"
+#include "serve/line_framing.h"
+#include "serve/replay.h"
+#include "serve/server.h"
+#include "trace/candump.h"
+#include "trace/log_record.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+
+using namespace canids;
+
+namespace {
+
+constexpr int kThroughputSeconds = 240;  // ~72k frames per run
+constexpr int kLatencyWindows = 40;
+
+const std::vector<std::uint32_t> kPool = {0x080, 0x120, 0x1C0, 0x260, 0x300,
+                                          0x3A0, 0x440, 0x4E0, 0x580, 0x620};
+
+std::shared_ptr<const ids::GoldenTemplate> make_template() {
+  ids::TemplateBuilder builder;
+  util::Rng rng(5);
+  for (int w = 0; w < 40; ++w) {
+    ids::BitCounters counters;
+    for (std::uint32_t id : kPool) {
+      const int count = 30 + static_cast<int>(rng.between(-1, 1));
+      for (int i = 0; i < count; ++i) counters.add(id);
+    }
+    ids::WindowSnapshot snap;
+    snap.frames = counters.total();
+    snap.probabilities = counters.probabilities();
+    snap.entropies = counters.entropies();
+    builder.add_window(snap);
+  }
+  return std::make_shared<const ids::GoldenTemplate>(
+      builder.build(ids::kPaperTrainingWindows));
+}
+
+/// `seconds` of shuffled clean traffic; seconds in `attacked` get 120
+/// injected frames (every such window alerts against the template above).
+std::vector<trace::LogRecord> make_trace(std::uint64_t seed, int seconds,
+                                         bool attack_all) {
+  std::vector<trace::LogRecord> records;
+  for (int s = 0; s < seconds; ++s) {
+    std::vector<std::uint32_t> stream;
+    for (std::uint32_t id : kPool) {
+      for (int i = 0; i < 30; ++i) stream.push_back(id);
+    }
+    if (attack_all) {
+      for (int i = 0; i < 120; ++i) stream.push_back(kPool[4]);
+    }
+    util::Rng shuffle(seed * 1000 + static_cast<std::uint64_t>(s));
+    for (std::size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[shuffle.below(i)]);
+    }
+    const util::TimeNs start = static_cast<util::TimeNs>(s) * util::kSecond;
+    const util::TimeNs step =
+        util::kSecond / static_cast<util::TimeNs>(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      records.push_back(trace::LogRecord{
+          start + static_cast<util::TimeNs>(i) * step, "can0",
+          can::Frame::data_frame(can::CanId::standard(stream[i]), {})});
+    }
+  }
+  return records;
+}
+
+analysis::DetectorOptions detector_options(
+    std::shared_ptr<const ids::GoldenTemplate> golden) {
+  analysis::DetectorOptions options;
+  options.golden = std::move(golden);
+  return options;
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent > 0) {
+      data += sent;
+      size -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    std::perror("send");
+    std::exit(1);
+  }
+}
+
+void wait_drained(engine::FleetEngine& engine) {
+  for (;;) {
+    const std::vector<engine::StreamStatus> status = engine.status();
+    bool all = !status.empty();
+    for (const engine::StreamStatus& row : status) all = all && row.drained;
+    if (all) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+double run_direct(const std::vector<trace::LogRecord>& records,
+                  const std::shared_ptr<const ids::GoldenTemplate>& golden) {
+  engine::FleetEngine engine(
+      analysis::make_detector("bit-entropy", detector_options(golden)), {});
+  engine::FleetEngine::Stream stream = engine.open_stream("bench");
+  engine.start();
+  const auto begin = std::chrono::steady_clock::now();
+  for (const trace::LogRecord& record : records) {
+    stream.push(record.timestamp, record.frame.id());
+  }
+  stream.close();
+  engine.finish();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return static_cast<double>(records.size()) / seconds;
+}
+
+double run_socket(const std::vector<trace::LogRecord>& records,
+                  const std::shared_ptr<const ids::GoldenTemplate>& golden,
+                  const std::string& uds_path) {
+  engine::FleetEngine engine(
+      analysis::make_detector("bit-entropy", detector_options(golden)), {});
+  serve::ServeConfig config;
+  config.uds_path = uds_path;
+  serve::ServeServer server(engine, config);
+  engine.start();
+  std::thread server_thread([&server] { server.run(); });
+
+  // Render outside the timed region: the bench measures the wire + framer
+  // + parser + engine path, not snprintf.
+  std::string payload = "HELLO bench\n";
+  for (const trace::LogRecord& record : records) {
+    payload += trace::to_candump_line(record);
+    payload.push_back('\n');
+  }
+
+  const int fd = serve::connect_addr(uds_path);
+  const auto begin = std::chrono::steady_clock::now();
+  send_all(fd, payload.data(), payload.size());
+  ::close(fd);
+  wait_drained(engine);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  server.post_shutdown();
+  server_thread.join();
+  engine.finish();
+  std::filesystem::remove(uds_path);
+  return static_cast<double>(records.size()) / seconds;
+}
+
+struct LatencyStats {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t alerts = 0;
+};
+
+/// Per-window alert latency: send every frame of window k, then the first
+/// frame of window k+1 (which closes k), and clock until the alert JSON
+/// line lands on the subscriber connection.
+LatencyStats run_fanout_latency(
+    const std::shared_ptr<const ids::GoldenTemplate>& golden,
+    const std::string& uds_path) {
+  engine::FleetEngine engine(
+      analysis::make_detector("bit-entropy", detector_options(golden)), {});
+  serve::ServeConfig config;
+  config.uds_path = uds_path;
+  serve::ServeServer server(engine, config);
+  engine.start();
+  std::thread server_thread([&server] { server.run(); });
+
+  const int subscriber = serve::connect_addr(uds_path);
+  {
+    const std::string hello = "SUBSCRIBE\n";
+    send_all(subscriber, hello.data(), hello.size());
+  }
+  const int data = serve::connect_addr(uds_path);
+  {
+    const std::string hello = "HELLO bench\n";
+    send_all(data, hello.data(), hello.size());
+  }
+
+  // Every window carries an injection, so every window alerts.
+  const std::vector<trace::LogRecord> records =
+      make_trace(17, kLatencyWindows + 1, true);
+
+  std::vector<double> latencies_us;
+  serve::LineFramer framer;
+  std::size_t pending = 0;  // alert lines parsed but not yet awaited
+  std::string line_payload;
+  std::size_t next = 0;
+  for (int window = 0; window < kLatencyWindows; ++window) {
+    const util::TimeNs window_end =
+        static_cast<util::TimeNs>(window + 1) * util::kSecond;
+    line_payload.clear();
+    while (next < records.size() &&
+           records[next].timestamp < window_end) {
+      line_payload += trace::to_candump_line(records[next]);
+      line_payload.push_back('\n');
+      ++next;
+    }
+    // The boundary frame that closes this window rides the same write.
+    if (next < records.size()) {
+      line_payload += trace::to_candump_line(records[next]);
+      line_payload.push_back('\n');
+      ++next;
+    }
+    const auto sent_at = std::chrono::steady_clock::now();
+    send_all(data, line_payload.data(), line_payload.size());
+
+    // Block until this window's alert line arrives.
+    char buf[4096];
+    while (pending == 0) {
+      const ssize_t got = ::recv(subscriber, buf, sizeof buf, 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) {
+        std::fprintf(stderr, "subscriber connection died\n");
+        std::exit(1);
+      }
+      framer.feed(buf, static_cast<std::size_t>(got),
+                  [&pending](std::string_view) { ++pending; });
+    }
+    --pending;
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - sent_at)
+            .count());
+  }
+
+  ::close(data);
+  ::close(subscriber);
+  server.post_shutdown();
+  server_thread.join();
+  engine.finish();
+  std::filesystem::remove(uds_path);
+
+  LatencyStats stats;
+  stats.alerts = latencies_us.size();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  for (const double v : latencies_us) stats.mean_us += v;
+  stats.mean_us /= static_cast<double>(latencies_us.size());
+  stats.p50_us = latencies_us[latencies_us.size() / 2];
+  stats.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const util::BenchTimer timer;
+  const auto golden = make_template();
+  const std::vector<trace::LogRecord> records =
+      make_trace(3, kThroughputSeconds, false);
+  const std::string uds_path =
+      (std::filesystem::temp_directory_path() /
+       ("canids-bench-serve-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+
+  std::printf("== serve: socket ingest vs direct push (%zu frames) ==\n",
+              records.size());
+  const double direct = run_direct(records, golden);
+  std::printf("  direct push   %12.0f frames/s\n", direct);
+  const double socket = run_socket(records, golden, uds_path);
+  std::printf("  socket ingest %12.0f frames/s (%.0f%% of direct)\n", socket,
+              100.0 * socket / direct);
+
+  std::printf("== serve: alert fan-out latency (%d windows) ==\n",
+              kLatencyWindows);
+  const LatencyStats latency = run_fanout_latency(golden, uds_path);
+  std::printf(
+      "  frame-in to alert-line-out: mean %.0f us, p50 %.0f us, p99 %.0f "
+      "us over %zu alerts\n",
+      latency.mean_us, latency.p50_us, latency.p99_us, latency.alerts);
+
+  util::write_bench_json(
+      "serve",
+      {{"frames", static_cast<double>(records.size())},
+       {"direct_frames_per_sec", direct},
+       {"socket_frames_per_sec", socket},
+       {"socket_over_direct", socket / direct},
+       {"fanout_latency_mean_us", latency.mean_us},
+       {"fanout_latency_p50_us", latency.p50_us},
+       {"fanout_latency_p99_us", latency.p99_us},
+       {"fanout_alerts", static_cast<double>(latency.alerts)},
+       {"wall_seconds", timer.seconds()}});
+  return 0;
+}

@@ -111,6 +111,14 @@ void BitEntropyBackend::on_frames(const can::TimedId* frames,
   report_scratch_.clear();
 }
 
+void BitEntropyBackend::rebind_models(const ModelRefs& models) {
+  if (!models.golden) return;
+  // rebind() validates the width before mutating anything, so a throw
+  // leaves both the pipeline and golden_ untouched.
+  pipeline_.rebind(models.golden);
+  golden_ = models.golden;
+}
+
 std::optional<WindowVerdict> BitEntropyBackend::finish() {
   if (auto report = pipeline_.finish()) {
     return verdict_of(*report);
@@ -209,6 +217,16 @@ std::optional<WindowVerdict> SymbolEntropyBackend::on_frame(
     return judge(*window);
   }
   return std::nullopt;
+}
+
+void SymbolEntropyBackend::rebind_models(const ModelRefs& models) {
+  if (!models.muter) return;
+  pretrained_ = models.muter;
+  model_ = pretrained_;
+  // Any in-progress self-calibration is abandoned; the accumulator's open
+  // window carries over and is judged against the new band at close.
+  training_.clear();
+  training_.shrink_to_fit();
 }
 
 std::optional<WindowVerdict> SymbolEntropyBackend::finish() {
@@ -325,6 +343,20 @@ std::optional<WindowVerdict> IntervalBackend::on_frame(util::TimeNs timestamp,
   ++frames_in_window_;
   last_timestamp_ = timestamp;
   return emitted;
+}
+
+void IntervalBackend::rebind_models(const ModelRefs& models) {
+  if (!models.interval) return;
+  if (!models.interval->trained()) {
+    throw std::invalid_argument(
+        "interval: hot-reload model must be frozen with finish_training()");
+  }
+  pretrained_ = models.interval;
+  detector_ = *pretrained_;
+  windows_trained_ = 0;
+  // clock_/frames_in_window_/last_timestamp_/counters_ carry over: the open
+  // window continues, with violation counting restarted against the new
+  // learned periods (per-ID arrival state lives inside the detector).
 }
 
 std::optional<WindowVerdict> IntervalBackend::finish() {
@@ -457,6 +489,16 @@ std::optional<WindowVerdict> EnsembleDetector::on_frame(util::TimeNs timestamp,
   counters_.dropped_frames = dropped;
   if (emitted.empty()) return std::nullopt;
   return combine(emitted);
+}
+
+void EnsembleDetector::rebind_models(const ModelRefs& models) {
+  // Dry-run on throwaway clones first (cheap: trained state is shared,
+  // runtime state starts pristine), so an incompatible model throws
+  // before any live member has been touched.
+  for (const auto& member : members_) {
+    member->clone_for_stream()->rebind_models(models);
+  }
+  for (const auto& member : members_) member->rebind_models(models);
 }
 
 std::optional<WindowVerdict> EnsembleDetector::finish() {

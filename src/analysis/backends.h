@@ -46,6 +46,9 @@ class BitEntropyBackend final : public DetectorBackend,
   /// the per-frame loop.
   void on_frames(const can::TimedId* frames, std::size_t count,
                  std::vector<WindowVerdict>& out) override;
+  /// Takes `models.golden` (same identifier width required); the open
+  /// window's bit counts, clock, and counters are kept.
+  void rebind_models(const ModelRefs& models) override;
   std::optional<WindowVerdict> finish() override;
   [[nodiscard]] const ids::PipelineCounters& counters() const override {
     return counters_;
@@ -91,6 +94,11 @@ class SymbolEntropyBackend final : public DetectorBackend,
 
   std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
                                         const can::CanId& id) override;
+  /// Takes `models.muter`: the backend becomes (or stays) pre-trained and
+  /// any in-progress self-calibration is abandoned. The open window's
+  /// symbol counts are kept — only the band the next close is judged
+  /// against changes.
+  void rebind_models(const ModelRefs& models) override;
   std::optional<WindowVerdict> finish() override;
   [[nodiscard]] const ids::PipelineCounters& counters() const override {
     return counters_;
@@ -135,6 +143,11 @@ class IntervalBackend final : public DetectorBackend,
 
   std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
                                         const can::CanId& id) override;
+  /// Takes `models.interval` (must be trained — frozen learned periods).
+  /// The per-ID arrival tracking lives inside the detector, so the
+  /// currently-open window restarts violation counting at the swap; the
+  /// window clock and counters are kept.
+  void rebind_models(const ModelRefs& models) override;
   std::optional<WindowVerdict> finish() override;
   [[nodiscard]] const ids::PipelineCounters& counters() const override {
     return counters_;
@@ -187,6 +200,10 @@ class EnsembleDetector final : public DetectorBackend {
 
   std::optional<WindowVerdict> on_frame(util::TimeNs timestamp,
                                         const can::CanId& id) override;
+  /// Forwards to every member (each takes its slice of the refs). All-or-
+  /// nothing: members are validated against the refs first, so an
+  /// incompatible model leaves every member untouched.
+  void rebind_models(const ModelRefs& models) override;
   std::optional<WindowVerdict> finish() override;
   [[nodiscard]] const ids::PipelineCounters& counters() const override {
     return counters_;

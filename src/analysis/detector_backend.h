@@ -25,6 +25,11 @@
 #include "ids/pipeline.h"
 #include "util/time.h"
 
+namespace canids::baselines {
+class MuterEntropyIds;
+class IntervalIds;
+}  // namespace canids::baselines
+
 namespace canids::analysis {
 
 /// Detector-specific evidence attached to an alerting verdict. Fields a
@@ -101,6 +106,16 @@ class TrainableBackend {
   virtual void import_model(std::istream& in) = 0;
 };
 
+/// The immutable trained-model set a RUNNING backend can adopt in place —
+/// the hot-reload unit the live fleet service swaps on SIGHUP. Null entries
+/// mean "keep what you have"; each backend takes its slice and ignores the
+/// rest (mirroring DetectorOptions at construction time).
+struct ModelRefs {
+  std::shared_ptr<const ids::GoldenTemplate> golden;
+  std::shared_ptr<const baselines::MuterEntropyIds> muter;
+  std::shared_ptr<const baselines::IntervalIds> interval;
+};
+
 /// Polymorphic detector: feed timestamped identifiers, receive window
 /// verdicts. Single-threaded per instance; share nothing mutable.
 class DetectorBackend {
@@ -135,6 +150,21 @@ class DetectorBackend {
       }
     }
   }
+
+  /// Hot-swap shared trained models IN PLACE: unlike
+  /// TrainableBackend::import_model (a cold restart), the open window's
+  /// accumulated state, the window clock, and all counters are kept — only
+  /// the immutable model the next window close is judged against changes.
+  /// Adopting the models a backend is already using is therefore a strict
+  /// no-op for detectors whose models are consulted only at window close
+  /// (bit-entropy, symbol-entropy) — the invariant the live service's
+  /// reload-under-replay verdict-identity check rests on. The interval
+  /// backend must also replace its per-ID arrival tracking, so its
+  /// currently-open window restarts violation counting at the swap. Null
+  /// entries keep the current model. Throws std::invalid_argument when a
+  /// supplied model is incompatible (e.g. a golden template of a different
+  /// identifier width), leaving the backend untouched. Default: no-op.
+  virtual void rebind_models(const ModelRefs& models) { (void)models; }
 
   /// Close and judge the partially-filled final window, if any.
   virtual std::optional<WindowVerdict> finish() = 0;

@@ -1,6 +1,7 @@
 #include "engine/fleet_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
@@ -18,24 +19,63 @@ namespace canids::engine {
 /// shard worker (queue pop side, backend, verdicts, `drained`).
 struct FleetEngine::StreamState {
   StreamState(std::string key_in, int shard_in, std::size_t queue_capacity,
+              BackpressurePolicy on_full_in,
               std::unique_ptr<analysis::DetectorBackend> backend_in)
       : key(std::move(key_in)),
         shard(shard_in),
         queue(queue_capacity),
+        on_full(on_full_in),
         backend(std::move(backend_in)) {}
 
   std::string key;
   int shard;
   SpscQueue<FrameItem> queue;
+  BackpressurePolicy on_full;
   std::atomic<bool> closed{false};
+  std::atomic<bool> drained{false};  ///< worker sets: final window flushed
   std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> queue_dropped{0};
+  /// Model generation this stream's backend was last rebound to; written
+  /// by the opening thread before publication, then worker-only.
+  std::uint64_t generation = 0;
   std::unique_ptr<analysis::DetectorBackend> backend;
   std::vector<analysis::WindowVerdict> verdicts;
-  bool drained = false;  ///< worker-local: final window flushed
+  /// Cross-thread copy of backend->counters(), republished by the worker
+  /// after every drained batch (the backend itself is worker-private).
+  mutable std::mutex snapshot_mutex;
+  ids::PipelineCounters snapshot;
+
+  void publish_snapshot() {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex);
+    snapshot = backend->counters();
+  }
+
+  [[nodiscard]] StreamStatus status() const {
+    StreamStatus row;
+    row.key = key;
+    row.shard = shard;
+    {
+      const std::lock_guard<std::mutex> lock(snapshot_mutex);
+      row.counters = snapshot;
+    }
+    row.counters.parse_errors += parse_errors.load(std::memory_order_relaxed);
+    row.counters.queue_dropped +=
+        queue_dropped.load(std::memory_order_relaxed);
+    row.queue_depth = queue.size_approx();
+    row.closed = closed.load(std::memory_order_acquire);
+    row.drained = drained.load(std::memory_order_acquire);
+    return row;
+  }
 };
 
 void FleetEngine::Stream::push(util::TimeNs timestamp, can::CanId id) {
   const FrameItem item{timestamp, id};
+  if (state_->on_full == BackpressurePolicy::kDropNewest) {
+    if (!state_->queue.try_push(item)) {
+      state_->queue_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
   while (!state_->queue.try_push(item)) {
     std::this_thread::yield();
   }
@@ -43,6 +83,17 @@ void FleetEngine::Stream::push(util::TimeNs timestamp, can::CanId id) {
 
 void FleetEngine::Stream::push_batch(const FrameItem* items,
                                      std::size_t count) {
+  if (state_->on_full == BackpressurePolicy::kDropNewest) {
+    // One attempt: the prefix that fits goes in; the rest is the queue
+    // telling us the consumer is behind, so it is dropped and counted
+    // rather than stalling the producer.
+    const std::size_t pushed = state_->queue.try_push_batch(items, count);
+    if (pushed < count) {
+      state_->queue_dropped.fetch_add(count - pushed,
+                                      std::memory_order_relaxed);
+    }
+    return;
+  }
   while (count > 0) {
     const std::size_t pushed = state_->queue.try_push_batch(items, count);
     items += pushed;
@@ -62,6 +113,12 @@ void FleetEngine::Stream::close() {
 const std::string& FleetEngine::Stream::key() const noexcept {
   return state_->key;
 }
+
+std::uint64_t FleetEngine::Stream::queue_dropped() const noexcept {
+  return state_->queue_dropped.load(std::memory_order_relaxed);
+}
+
+StreamStatus FleetEngine::Stream::status() const { return state_->status(); }
 
 FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
                          FleetConfig config)
@@ -85,7 +142,10 @@ FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
           ? config_.shards
           : static_cast<int>(
                 std::max(1u, std::thread::hardware_concurrency()));
-  shards_.resize(static_cast<std::size_t>(shard_count_));
+  shards_.reserve(static_cast<std::size_t>(shard_count_));
+  for (int i = 0; i < shard_count_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 FleetEngine::FleetEngine(std::shared_ptr<const ids::GoldenTemplate> golden,
@@ -113,10 +173,10 @@ FleetEngine::FleetEngine(const model::StoredModels& models,
           config) {}
 
 FleetEngine::~FleetEngine() {
-  if (started_ && !finished_) {
+  if (started_.load(std::memory_order_acquire) && !finished_) {
     abort_.store(true, std::memory_order_release);
-    for (Shard& shard : shards_) {
-      if (shard.worker.joinable()) shard.worker.join();
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
     }
   }
 }
@@ -128,23 +188,64 @@ int FleetEngine::shard_of(std::string_view key) const noexcept {
 
 FleetEngine::Stream FleetEngine::open_stream(
     std::string key, std::vector<std::uint32_t> id_pool) {
-  CANIDS_EXPECTS(!started_);
+  CANIDS_EXPECTS(!finished_);
   CANIDS_EXPECTS(!key.empty());
-  const int shard = shard_of(key);
-  streams_.push_back(std::make_unique<StreamState>(
-      std::move(key), shard, config_.queue_capacity,
-      prototype_->clone_for_stream(std::move(id_pool))));
-  StreamState* state = streams_.back().get();
-  shards_[static_cast<std::size_t>(shard)].streams.push_back(state);
+  const int shard_index = shard_of(key);
+  std::unique_ptr<StreamState> state_owner;
+  {
+    // Clone under the reload lock so the stream's backend and its recorded
+    // generation are consistent (a concurrent reload_models either fully
+    // precedes or fully follows this clone).
+    const std::lock_guard<std::mutex> lock(reload_mutex_);
+    state_owner = std::make_unique<StreamState>(
+        std::move(key), shard_index, config_.queue_capacity, config_.on_full,
+        prototype_->clone_for_stream(std::move(id_pool)));
+    state_owner->generation = generation_.load(std::memory_order_acquire);
+  }
+  StreamState* state = state_owner.get();
+  {
+    const std::lock_guard<std::mutex> lock(streams_mutex_);
+    streams_.push_back(std::move(state_owner));
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  if (!started_.load(std::memory_order_acquire)) {
+    shard.streams.push_back(state);
+  } else {
+    const std::lock_guard<std::mutex> lock(shard.incoming_mutex);
+    shard.incoming.push_back(state);
+    shard.has_incoming.store(true, std::memory_order_release);
+  }
   return Stream(state);
 }
 
 void FleetEngine::start() {
-  CANIDS_EXPECTS(!started_);
-  started_ = true;
-  for (Shard& shard : shards_) {
-    shard.worker = std::thread([this, &shard] { worker_loop(shard); });
+  CANIDS_EXPECTS(!started_.load(std::memory_order_acquire));
+  started_.store(true, std::memory_order_release);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
   }
+}
+
+void FleetEngine::reload_models(analysis::ModelRefs models) {
+  const std::lock_guard<std::mutex> lock(reload_mutex_);
+  // The prototype is the validator: an incompatible model throws here and
+  // neither the prototype nor any stream has changed.
+  prototype_->rebind_models(models);
+  reload_refs_ = std::move(models);
+  // Publish AFTER the refs are in place: a worker that observes the new
+  // generation takes reload_mutex_ before reading reload_refs_.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<StreamStatus> FleetEngine::status() const {
+  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::vector<StreamStatus> rows;
+  rows.reserve(streams_.size());
+  for (const std::unique_ptr<StreamState>& state : streams_) {
+    rows.push_back(state->status());
+  }
+  return rows;
 }
 
 void FleetEngine::handle_verdict(StreamState& stream,
@@ -168,43 +269,92 @@ void FleetEngine::worker_loop(Shard& shard) {
     for (analysis::WindowVerdict& verdict : verdicts) {
       handle_verdict(stream, std::move(verdict));
     }
+    stream.publish_snapshot();
   };
 
-  std::size_t remaining = shard.streams.size();
-  while (remaining > 0 && !abort_.load(std::memory_order_acquire)) {
+  // The worker's private rotation: drained streams leave it (their
+  // StreamState stays behind for finish()/status()), dynamically opened
+  // ones join it via the shard's incoming hand-off.
+  std::vector<StreamState*> active = shard.streams;
+  int idle = 0;
+  while (!abort_.load(std::memory_order_acquire)) {
+    if (shard.has_incoming.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(shard.incoming_mutex);
+      active.insert(active.end(), shard.incoming.begin(),
+                    shard.incoming.end());
+      shard.incoming.clear();
+      shard.has_incoming.store(false, std::memory_order_release);
+    }
     bool progressed = false;
-    for (StreamState* stream : shard.streams) {
-      if (stream->drained) continue;
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < active.size();) {
+      StreamState* stream = active[i];
+      if (stream->generation != generation) {
+        // A reload happened: rebind this stream's backend in place between
+        // drain batches (window state and queue survive; reload_models
+        // already validated the refs against the prototype).
+        const std::lock_guard<std::mutex> lock(reload_mutex_);
+        stream->backend->rebind_models(reload_refs_);
+        stream->generation = generation_.load(std::memory_order_acquire);
+        progressed = true;
+      }
       batch.clear();
       if (stream->queue.pop_batch(batch, config_.drain_batch) > 0) {
         feed(*stream);
         progressed = true;
+        ++i;
         continue;
       }
-      if (!stream->closed.load(std::memory_order_acquire)) continue;
+      if (!stream->closed.load(std::memory_order_acquire)) {
+        ++i;
+        continue;
+      }
       // `closed` is published after the producer's final push, so one more
       // pop after observing it catches any frames we raced past.
       if (stream->queue.pop_batch(batch, config_.drain_batch) > 0) {
         feed(*stream);
         progressed = true;
+        ++i;
         continue;
       }
+      // Flush the final (possibly partial) window — a mid-window
+      // disconnect still gets judged — then retire the stream from the
+      // rotation.
       if (auto verdict = stream->backend->finish()) {
         handle_verdict(*stream, std::move(*verdict));
       }
-      stream->drained = true;
-      --remaining;
+      stream->publish_snapshot();
+      stream->drained.store(true, std::memory_order_release);
+      active[i] = active.back();
+      active.pop_back();
       progressed = true;
     }
-    if (!progressed) std::this_thread::yield();
+    if (progressed) {
+      idle = 0;
+      continue;
+    }
+    if (active.empty() && stopping_.load(std::memory_order_acquire) &&
+        !shard.has_incoming.load(std::memory_order_acquire)) {
+      return;
+    }
+    // Adaptive idle: spin-yield briefly (latency), then sleep (a resident
+    // daemon's workers must not busy-burn a core per shard while the bus
+    // is quiet).
+    if (++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
   }
 }
 
 std::vector<StreamResult> FleetEngine::finish() {
-  CANIDS_EXPECTS(started_);
+  CANIDS_EXPECTS(started_.load(std::memory_order_acquire));
   CANIDS_EXPECTS(!finished_);
-  for (Shard& shard : shards_) {
-    if (shard.worker.joinable()) shard.worker.join();
+  stopping_.store(true, std::memory_order_release);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
   }
   finished_ = true;
 
@@ -218,6 +368,8 @@ std::vector<StreamResult> FleetEngine::finish() {
     result.counters = state->backend->counters();
     result.counters.parse_errors +=
         state->parse_errors.load(std::memory_order_relaxed);
+    result.counters.queue_dropped +=
+        state->queue_dropped.load(std::memory_order_relaxed);
     result.verdicts = std::move(state->verdicts);
     totals_ += result.counters;
     results.push_back(std::move(result));

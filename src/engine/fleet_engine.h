@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -37,6 +38,17 @@
 
 namespace canids::engine {
 
+/// What Stream::push does when the stream's bounded queue is full.
+enum class BackpressurePolicy : std::uint8_t {
+  /// Spin-yield until space frees — lossless, the producer slows down
+  /// (the batch/file-replay contract; memory stays bounded).
+  kBlock,
+  /// Discard the frames that do not fit, counting each in the stream's
+  /// `queue_dropped` — the live-ingest contract, where a socket producer
+  /// must never stall the whole accept loop behind one slow stream.
+  kDropNewest,
+};
+
 struct FleetConfig {
   /// Worker shards; 0 = one per available hardware thread.
   int shards = 0;
@@ -45,6 +57,8 @@ struct FleetConfig {
   /// be a power of two — the SPSC ring is mask-indexed — or the engine
   /// constructor throws std::invalid_argument.
   std::size_t queue_capacity = 8192;
+  /// Full-queue policy applied to every stream (see BackpressurePolicy).
+  BackpressurePolicy on_full = BackpressurePolicy::kBlock;
   /// Max frames a worker drains from one stream before rotating to its
   /// next stream (fairness bound under load).
   std::size_t drain_batch = 256;
@@ -66,6 +80,20 @@ struct StreamResult {
   std::vector<analysis::WindowVerdict> verdicts;
 };
 
+/// Point-in-time per-stream observability row (FleetEngine::status — the
+/// live service's status endpoint). Counters lag the worker by at most one
+/// drain batch; queue_depth is approximate by nature (SPSC ring).
+struct StreamStatus {
+  std::string key;
+  int shard = 0;
+  /// Backend counters as of the last drained batch, with ingest-side
+  /// parse_errors and queue_dropped folded in (like StreamResult).
+  ids::PipelineCounters counters;
+  std::size_t queue_depth = 0;
+  bool closed = false;   ///< producer hung up
+  bool drained = false;  ///< final window flushed by the shard worker
+};
+
 class FleetEngine {
   struct StreamState;
 
@@ -79,17 +107,27 @@ class FleetEngine {
   /// a given stream at a time (the queue below is single-producer).
   class Stream {
    public:
-    /// Enqueue one frame; yields while the bounded queue is full.
+    /// Enqueue one frame. kBlock: yields while the bounded queue is full.
+    /// kDropNewest: a frame that does not fit is discarded and counted in
+    /// queue_dropped().
     void push(util::TimeNs timestamp, can::CanId id);
     /// Enqueue a batch with a single queue publish — the high-throughput
-    /// ingest path (run_fleet uses it). Yields while full.
+    /// ingest path (run_fleet uses it). kBlock: yields until everything is
+    /// in. kDropNewest: pushes the prefix that fits, discards (and counts)
+    /// the rest.
     void push_batch(const FrameItem* items, std::size_t count);
     /// Record one malformed capture line skipped at ingest; surfaced in
     /// the stream's counters after finish().
     void record_parse_error();
-    /// Mark end-of-stream; the shard then flushes the final window.
+    /// Mark end-of-stream; the shard then flushes the final window —
+    /// including a partially-filled one (a mid-window disconnect is still
+    /// judged, not silently dropped).
     void close();
     [[nodiscard]] const std::string& key() const noexcept;
+    /// Frames discarded by kDropNewest backpressure so far.
+    [[nodiscard]] std::uint64_t queue_dropped() const noexcept;
+    /// Live observability row for this stream (safe from any thread).
+    [[nodiscard]] StreamStatus status() const;
 
    private:
     friend class FleetEngine;
@@ -121,14 +159,18 @@ class FleetEngine {
   FleetEngine(const FleetEngine&) = delete;
   FleetEngine& operator=(const FleetEngine&) = delete;
 
-  /// Register a stream (before start()). A non-empty `id_pool` overrides
-  /// the prototype's legal-ID set for this stream, enabling malicious-ID
-  /// inference on backends that support it; an empty pool keeps whatever
-  /// the prototype was built with (see DetectorBackend::clone_for_stream).
+  /// Register a stream — before start() (the batch pattern) or while the
+  /// engine is running (the live-service pattern: a client connects, its
+  /// stream joins its shard's rotation within one worker iteration). A
+  /// non-empty `id_pool` overrides the prototype's legal-ID set for this
+  /// stream, enabling malicious-ID inference on backends that support it;
+  /// an empty pool keeps whatever the prototype was built with (see
+  /// DetectorBackend::clone_for_stream). Thread-safe against other
+  /// open_stream / status / reload_models calls; not against finish().
   Stream open_stream(std::string key,
                      std::vector<std::uint32_t> id_pool = {});
 
-  /// Launch the shard workers. Call after every open_stream.
+  /// Launch the shard workers.
   void start();
 
   /// Wait until every stream is closed and fully drained, stop the
@@ -136,6 +178,25 @@ class FleetEngine {
   /// streams must have been close()d (or be closed concurrently by still
   /// running producers) before the engine can finish.
   std::vector<StreamResult> finish();
+
+  /// Hot-swap the trained models every live stream is judged against —
+  /// the SIGHUP reload path. Validates against the prototype first (an
+  /// incompatible model throws std::invalid_argument and nothing changes),
+  /// then rebinds the prototype (so streams opened later start on the new
+  /// models) and marks every existing stream; each shard worker rebinds
+  /// its streams in-place between drain batches — no queue is flushed, no
+  /// window state is lost, no stream disconnects. Callable from any
+  /// thread while the engine runs.
+  void reload_models(analysis::ModelRefs models);
+  /// Completed reload_models generations (0 at start; streams may lag the
+  /// latest generation by one drain batch).
+  [[nodiscard]] std::uint64_t model_generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Observability snapshot of every stream, in open_stream order (the
+  /// status endpoint). Safe while the engine runs.
+  [[nodiscard]] std::vector<StreamStatus> status() const;
 
   [[nodiscard]] int shards() const noexcept { return shard_count_; }
   [[nodiscard]] int shard_of(std::string_view key) const noexcept;
@@ -155,7 +216,12 @@ class FleetEngine {
 
  private:
   struct Shard {
+    /// Streams opened before start(); the worker adopts them at launch.
     std::vector<StreamState*> streams;
+    /// Streams opened while running, handed to the worker via the flag.
+    std::vector<StreamState*> incoming;
+    std::mutex incoming_mutex;
+    std::atomic<bool> has_incoming{false};
     std::thread worker;
   };
 
@@ -166,11 +232,20 @@ class FleetEngine {
   FleetConfig config_;
   int shard_count_;
   std::vector<std::unique_ptr<StreamState>> streams_;
-  std::vector<Shard> shards_;
+  /// Guards streams_ (open_stream appends while status() iterates).
+  mutable std::mutex streams_mutex_;
+  /// unique_ptr: Shard owns a mutex + atomic, so it cannot move.
+  std::vector<std::unique_ptr<Shard>> shards_;
   AlertSink alerts_;
   ids::PipelineCounters totals_;
-  bool started_ = false;
+  /// Guards prototype_ rebinds/clones and reload_refs_.
+  std::mutex reload_mutex_;
+  analysis::ModelRefs reload_refs_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> started_{false};
   bool finished_ = false;
+  /// finish() in flight: workers may exit once their rotation drains.
+  std::atomic<bool> stopping_{false};
   std::atomic<bool> abort_{false};
 };
 

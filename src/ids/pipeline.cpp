@@ -1,5 +1,8 @@
 #include "ids/pipeline.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/contracts.h"
 
 namespace canids::ids {
@@ -21,6 +24,27 @@ IdsPipeline::IdsPipeline(GoldenTemplate golden,
                          PipelineConfig config)
     : IdsPipeline(std::make_shared<const GoldenTemplate>(std::move(golden)),
                   std::move(id_pool), config) {}
+
+void IdsPipeline::rebind(std::shared_ptr<const GoldenTemplate> golden) {
+  if (!golden) {
+    throw std::invalid_argument("rebind: golden template must be non-null");
+  }
+  if (golden->width != detector_.golden().width) {
+    throw std::invalid_argument(
+        "rebind: golden template width mismatch (live window state is "
+        "shaped for width " +
+        std::to_string(detector_.golden().width) + ", got " +
+        std::to_string(golden->width) + ")");
+  }
+  detector_ = Detector(golden, config_.detector);
+  if (inference_) {
+    // Keep the legal-ID pool; only the template the candidates are scored
+    // against changes. Copied out first: emplace destroys the old engine
+    // before the new one's constructor copies its arguments.
+    std::vector<std::uint32_t> pool = inference_->id_pool();
+    inference_.emplace(std::move(golden), std::move(pool), config_.inference);
+  }
+}
 
 WindowReport IdsPipeline::judge(WindowSnapshot snapshot) {
   WindowReport report;

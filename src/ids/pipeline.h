@@ -44,6 +44,10 @@ struct PipelineCounters {
   /// Frames a detector backend could not judge and skipped (e.g. extended
   /// 29-bit IDs against an 11-bit golden template). Subset of `frames`.
   std::uint64_t dropped_frames = 0;
+  /// Frames discarded BEFORE the detector by drop-newest backpressure on a
+  /// full stream queue (fleet engine / live service). Disjoint from
+  /// `frames`: a queue-dropped frame was never fed to the backend.
+  std::uint64_t queue_dropped = 0;
 
   PipelineCounters& operator+=(const PipelineCounters& other) noexcept {
     frames += other.frames;
@@ -52,6 +56,7 @@ struct PipelineCounters {
     alerts += other.alerts;
     parse_errors += other.parse_errors;
     dropped_frames += other.dropped_frames;
+    queue_dropped += other.queue_dropped;
     return *this;
   }
 
@@ -93,6 +98,15 @@ class IdsPipeline {
 
   /// Close and judge the partially-filled final window.
   std::optional<WindowReport> finish();
+
+  /// Hot-swap the golden template IN PLACE: the detector and inference
+  /// engine are rebuilt against `golden`, while the open window's
+  /// accumulated bit counts, the window clock, and all counters are kept —
+  /// the next window close is simply judged against the new template.
+  /// `golden` must be non-null and match the current template's identifier
+  /// width (the accumulator's live bit counts are width-shaped); throws
+  /// std::invalid_argument otherwise, leaving the pipeline untouched.
+  void rebind(std::shared_ptr<const GoldenTemplate> golden);
 
   /// Optional sink invoked for every alerting window.
   void set_alert_handler(std::function<void(const WindowReport&)> handler) {

@@ -1,0 +1,74 @@
+#include "serve/line_framing.h"
+
+#include <cstring>
+
+namespace canids::serve {
+
+namespace {
+
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+void LineFramer::feed(const char* data, std::size_t size,
+                      const LineFn& on_line) {
+  std::size_t pos = 0;
+  while (pos < size) {
+    const void* found = std::memchr(data + pos, '\n', size - pos);
+    if (found == nullptr) {
+      // No newline in the remainder: buffer it (or keep discarding).
+      if (discarding_) return;
+      if (buffer_.size() + (size - pos) > max_line_) {
+        ++oversized_;
+        discarding_ = true;
+        buffer_.clear();
+        return;
+      }
+      buffer_.append(data + pos, size - pos);
+      return;
+    }
+    const std::size_t nl =
+        static_cast<std::size_t>(static_cast<const char*>(found) - data);
+    if (discarding_) {
+      // This newline terminates the oversized line; resume framing after.
+      discarding_ = false;
+      pos = nl + 1;
+      continue;
+    }
+    if (buffer_.empty()) {
+      // Fast path: the whole line lives inside this chunk — deliver a view
+      // into it, no copy.
+      if (nl - pos > max_line_) {
+        ++oversized_;
+      } else {
+        on_line(strip_cr(std::string_view(data + pos, nl - pos)));
+      }
+    } else {
+      if (buffer_.size() + (nl - pos) > max_line_) {
+        ++oversized_;
+      } else {
+        buffer_.append(data + pos, nl - pos);
+        on_line(strip_cr(buffer_));
+      }
+      buffer_.clear();
+    }
+    pos = nl + 1;
+  }
+}
+
+void LineFramer::finish(const LineFn& on_line) {
+  if (discarding_) {
+    // Already counted when it overflowed; nothing to deliver.
+    discarding_ = false;
+    return;
+  }
+  if (buffer_.empty()) return;
+  const std::string_view line = strip_cr(buffer_);
+  if (!line.empty()) on_line(line);
+  buffer_.clear();
+}
+
+}  // namespace canids::serve

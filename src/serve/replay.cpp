@@ -1,0 +1,168 @@
+#include "serve/replay.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "trace/candump.h"
+#include "trace/trace_io.h"
+
+namespace canids::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent > 0) {
+      data += sent;
+      size -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, const std::string& port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("resolve " + host + ":" + port + ": " +
+                             ::gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype | SOCK_CLOEXEC,
+                  entry->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    throw std::runtime_error("connect " + host + ":" + port + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+int connect_addr(const std::string& addr) {
+  if (addr.find('/') != std::string::npos) return connect_unix(addr);
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == addr.size()) {
+    throw std::runtime_error(
+        "bad address '" + addr +
+        "' (want a unix socket path containing '/' or host:port)");
+  }
+  return connect_tcp(addr.substr(0, colon), addr.substr(colon + 1));
+}
+
+SendStats send_trace(const std::string& addr,
+                     const std::filesystem::path& trace,
+                     const SendOptions& options) {
+  std::unique_ptr<trace::RecordSource> source =
+      trace::open_trace_source(trace);
+  const int fd = connect_addr(addr);
+  SendStats stats;
+  try {
+    std::string chunk;
+    chunk.reserve(64 * 1024);
+    if (!options.key.empty()) {
+      chunk = "HELLO " + options.key + "\n";
+    }
+
+    const bool paced = options.speed > 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
+    util::TimeNs first_timestamp = 0;
+    bool saw_first = false;
+
+    for (;;) {
+      std::optional<trace::LogRecord> record;
+      try {
+        record = source->next_record();
+      } catch (const trace::ParseError&) {
+        continue;  // skip garbage lines; replay the frames that parse
+      }
+      if (!record) break;
+      if (!saw_first) {
+        saw_first = true;
+        first_timestamp = record->timestamp;
+      }
+      if (paced) {
+        // Pace against the recording: frame k goes out once
+        // (t_k - t_0) / speed of wall time has elapsed.
+        const auto target =
+            wall_start +
+            std::chrono::nanoseconds(static_cast<std::int64_t>(
+                static_cast<double>(record->timestamp - first_timestamp) /
+                options.speed));
+        // Flush buffered lines before sleeping so pacing is visible on the
+        // wire, not hidden in our buffer.
+        if (!chunk.empty()) {
+          send_all(fd, chunk.data(), chunk.size());
+          stats.bytes += chunk.size();
+          chunk.clear();
+        }
+        std::this_thread::sleep_until(target);
+      }
+      chunk += trace::to_candump_line(*record);
+      chunk.push_back('\n');
+      ++stats.frames;
+      if (chunk.size() >= 64 * 1024) {
+        send_all(fd, chunk.data(), chunk.size());
+        stats.bytes += chunk.size();
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) {
+      send_all(fd, chunk.data(), chunk.size());
+      stats.bytes += chunk.size();
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return stats;
+}
+
+}  // namespace canids::serve

@@ -1,0 +1,543 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "model/store.h"
+#include "serve/alert_json.h"
+#include "trace/candump.h"
+
+namespace canids::serve {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Blocking-ish full write on a (possibly nonblocking) fd — used only for
+/// small, rare control replies.
+void send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent > 0) {
+      data += sent;
+      size -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return;  // peer gone — nothing useful to do with a control reply
+  }
+}
+
+int listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  (void)::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int listen_tcp(const std::string& host, int port, int* resolved_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(" + host + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *resolved_port = ntohs(bound.sin_port);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+}  // namespace
+
+/// One accepted socket. Data connections own (at most) one engine stream;
+/// control connections only exchange command/reply lines; subscriber
+/// connections only receive alert JSONL.
+struct ServeServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  bool control = false;
+  bool subscriber = false;
+  std::string key;  ///< from HELLO; empty = generated at stream open
+  LineFramer framer;
+  std::optional<engine::FleetEngine::Stream> stream;
+  std::uint64_t oversized_seen = 0;
+
+  Connection(int fd_in, std::uint64_t id_in, bool control_in,
+             std::size_t max_line)
+      : fd(fd_in), id(id_in), control(control_in), framer(max_line) {}
+};
+
+ServeServer::ServeServer(engine::FleetEngine& engine, ServeConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.uds_path.empty() && config_.tcp_port < 0) {
+    throw std::invalid_argument(
+        "serve: need at least one data listener (uds path or tcp port)");
+  }
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw_errno("pipe2");
+  }
+  try {
+    setup_listeners();
+  } catch (...) {
+    teardown();
+    throw;
+  }
+  if (!config_.alerts_out.empty()) {
+    alerts_out_.emplace(config_.alerts_out,
+                        std::ios::out | std::ios::trunc);
+    if (!*alerts_out_) {
+      teardown();
+      throw std::runtime_error("serve: cannot open alerts sink " +
+                               config_.alerts_out);
+    }
+  }
+  // Alert fan-out starts immediately: shard workers call this handler for
+  // every alerting window, including ones flushed during engine.finish().
+  engine_.alerts().set_handler(
+      [this](const engine::FleetAlert& alert) { publish_alert(alert); });
+}
+
+ServeServer::~ServeServer() {
+  // Detach the fan-out handler (it captures `this`) before members die;
+  // anything the engine publishes later is retained by the sink instead.
+  engine_.alerts().set_handler({});
+  teardown();
+}
+
+void ServeServer::setup_listeners() {
+  if (!config_.uds_path.empty()) {
+    uds_listener_ = listen_unix(config_.uds_path);
+  }
+  if (config_.tcp_port >= 0) {
+    tcp_listener_ =
+        listen_tcp(config_.tcp_host, config_.tcp_port, &tcp_port_);
+  }
+  if (!config_.control_path.empty()) {
+    control_listener_ = listen_unix(config_.control_path);
+  }
+}
+
+void ServeServer::teardown() {
+  for (std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->fd >= 0) close_connection(*conn);
+  }
+  connections_.clear();
+  auto close_listener = [](int& fd) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  };
+  close_listener(uds_listener_);
+  close_listener(tcp_listener_);
+  close_listener(control_listener_);
+  if (!config_.uds_path.empty()) (void)::unlink(config_.uds_path.c_str());
+  if (!config_.control_path.empty()) {
+    (void)::unlink(config_.control_path.c_str());
+  }
+  close_listener(wake_pipe_[0]);
+  close_listener(wake_pipe_[1]);
+  flush_alerts();
+}
+
+void ServeServer::post_shutdown() noexcept {
+  const char c = 'q';
+  (void)!::write(wake_pipe_[1], &c, 1);
+}
+
+void ServeServer::post_reload() noexcept {
+  const char c = 'r';
+  (void)!::write(wake_pipe_[1], &c, 1);
+}
+
+void ServeServer::post_status() noexcept {
+  const char c = 's';
+  (void)!::write(wake_pipe_[1], &c, 1);
+}
+
+ServeStats ServeServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ServeServer::flush_alerts() {
+  const std::lock_guard<std::mutex> lock(alert_mutex_);
+  if (alerts_out_) alerts_out_->flush();
+}
+
+void ServeServer::publish_alert(const engine::FleetAlert& alert) {
+  std::string line = to_json_line(alert);
+  line.push_back('\n');
+  {
+    const std::lock_guard<std::mutex> lock(alert_mutex_);
+    if (alerts_out_) alerts_out_->write(line.data(), line.size());
+    for (const int fd : subscribers_) {
+      // Best-effort fan-out: a subscriber that cannot take the whole line
+      // right now loses it (counted), rather than stalling the shard
+      // worker publishing the alert.
+      const ssize_t sent =
+          ::send(fd, line.data(), line.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (sent != static_cast<ssize_t>(line.size())) {
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.subscriber_dropped;
+      }
+    }
+  }
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.alerts;
+}
+
+void ServeServer::drop_subscriber(int fd) {
+  const std::lock_guard<std::mutex> lock(alert_mutex_);
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i] == fd) {
+      subscribers_[i] = subscribers_.back();
+      subscribers_.pop_back();
+      return;
+    }
+  }
+}
+
+void ServeServer::open_stream_for(Connection& conn) {
+  std::string key = conn.key;
+  if (key.empty()) key = "conn-" + std::to_string(conn.id);
+  conn.stream = engine_.open_stream(std::move(key));
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.streams_opened;
+}
+
+void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
+  if (conn.subscriber) return;  // subscribers only listen
+  if (!conn.stream) {
+    if (line.rfind("HELLO ", 0) == 0) {
+      std::string_view key = line.substr(6);
+      while (!key.empty() && key.front() == ' ') key.remove_prefix(1);
+      while (!key.empty() && key.back() == ' ') key.remove_suffix(1);
+      if (!key.empty()) conn.key = std::string(key);
+      return;
+    }
+    if (line == "SUBSCRIBE") {
+      conn.subscriber = true;
+      const std::lock_guard<std::mutex> lock(alert_mutex_);
+      subscribers_.push_back(conn.fd);
+      return;
+    }
+  }
+  trace::LogRecord record;
+  try {
+    record = trace::parse_candump_line(line);
+  } catch (const trace::ParseError&) {
+    // Same contract as file ingest: count it against the stream and keep
+    // the connection alive.
+    if (!conn.stream) open_stream_for(conn);
+    conn.stream->record_parse_error();
+    return;
+  }
+  if (!conn.stream) open_stream_for(conn);
+  conn.stream->push(record.timestamp, record.frame.id());
+}
+
+std::string ServeServer::do_reload(const std::string& path) {
+  const std::string& effective =
+      path.empty() ? config_.models_path : path;
+  if (effective.empty()) {
+    return "error: no model bundle path configured (start serve with a "
+           "models argument or pass RELOAD <path>)";
+  }
+  try {
+    const model::StoredModels models = model::load_models_file(effective);
+    if (models.empty()) return "error: bundle holds no models";
+    analysis::ModelRefs refs;
+    refs.golden = models.golden;
+    refs.muter = models.muter;
+    refs.interval = models.interval;
+    engine_.reload_models(refs);
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reloads;
+  }
+  return "ok generation=" + std::to_string(engine_.model_generation());
+}
+
+void ServeServer::handle_control_line(Connection& conn,
+                                      std::string_view line) {
+  std::string reply;
+  if (line == "STATUS") {
+    reply = status_json();
+  } else if (line == "SHUTDOWN") {
+    reply = "ok";
+    shutdown_.store(true, std::memory_order_release);
+  } else if (line == "RELOAD" || line.rfind("RELOAD ", 0) == 0) {
+    std::string path;
+    if (line.size() > 7) path = std::string(line.substr(7));
+    reply = do_reload(path);
+  } else {
+    reply = "error: unknown command (STATUS | RELOAD [path] | SHUTDOWN)";
+  }
+  reply.push_back('\n');
+  send_all(conn.fd, reply.data(), reply.size());
+}
+
+std::string ServeServer::status_json() const {
+  const ServeStats snapshot = stats();
+  std::string out = "{\"uptime_ns\": ";
+  out += std::to_string(started_ns_ == 0 ? 0 : steady_now_ns() -
+                                                   started_ns_);
+  out += ", \"model_generation\": " +
+         std::to_string(engine_.model_generation());
+  out += ", \"connections\": " + std::to_string(snapshot.connections);
+  out += ", \"streams_opened\": " + std::to_string(snapshot.streams_opened);
+  out += ", \"alerts\": " + std::to_string(snapshot.alerts);
+  out += ", \"reloads\": " + std::to_string(snapshot.reloads);
+  out += ", \"subscriber_dropped\": " +
+         std::to_string(snapshot.subscriber_dropped);
+  out += ", \"streams\": [";
+  bool first = true;
+  for (const engine::StreamStatus& row : engine_.status()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"key\": ";
+    append_json_string(out, row.key);
+    out += ", \"shard\": " + std::to_string(row.shard);
+    out += ", \"queue_depth\": " + std::to_string(row.queue_depth);
+    out += ", \"closed\": ";
+    out += row.closed ? "true" : "false";
+    out += ", \"drained\": ";
+    out += row.drained ? "true" : "false";
+    out += ", \"frames\": " + std::to_string(row.counters.frames);
+    out += ", \"windows_closed\": " +
+           std::to_string(row.counters.windows_closed);
+    out += ", \"windows_evaluated\": " +
+           std::to_string(row.counters.windows_evaluated);
+    out += ", \"alerts\": " + std::to_string(row.counters.alerts);
+    out += ", \"parse_errors\": " +
+           std::to_string(row.counters.parse_errors);
+    out += ", \"dropped_frames\": " +
+           std::to_string(row.counters.dropped_frames);
+    out += ", \"queue_dropped\": " +
+           std::to_string(row.counters.queue_dropped);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int ServeServer::accept_on(int listener_fd) {
+  const int fd = ::accept4(listener_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return -1;
+  return fd;
+}
+
+void ServeServer::read_connection(Connection& conn) {
+  char buffer[65536];
+  // Bounded reads per poll round so one firehose client cannot starve the
+  // rest of the loop.
+  for (int round = 0; round < 8; ++round) {
+    const ssize_t got = ::recv(conn.fd, buffer, sizeof buffer, 0);
+    if (got > 0) {
+      if (conn.control) {
+        conn.framer.feed(buffer, static_cast<std::size_t>(got),
+                         [&](std::string_view line) {
+                           handle_control_line(conn, line);
+                         });
+      } else {
+        conn.framer.feed(buffer, static_cast<std::size_t>(got),
+                         [&](std::string_view line) {
+                           handle_data_line(conn, line);
+                         });
+        const std::uint64_t oversized = conn.framer.oversized();
+        if (oversized != conn.oversized_seen && !conn.subscriber) {
+          if (!conn.stream) open_stream_for(conn);
+          for (std::uint64_t i = conn.oversized_seen; i < oversized; ++i) {
+            conn.stream->record_parse_error();
+          }
+          conn.oversized_seen = oversized;
+        }
+      }
+      if (got < static_cast<ssize_t>(sizeof buffer)) return;
+      continue;
+    }
+    if (got == 0) {
+      close_connection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close_connection(conn);  // hard error: treat as hang-up
+    return;
+  }
+}
+
+void ServeServer::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  if (conn.subscriber) drop_subscriber(conn.fd);
+  if (conn.control) {
+    conn.framer.finish(
+        [&](std::string_view line) { handle_control_line(conn, line); });
+  } else {
+    // Deliver a final unterminated line, then close the stream — the shard
+    // worker flushes its last (possibly partial) window.
+    conn.framer.finish(
+        [&](std::string_view line) { handle_data_line(conn, line); });
+    if (conn.stream) conn.stream->close();
+  }
+  ::close(conn.fd);
+  conn.fd = -1;
+}
+
+void ServeServer::run() {
+  started_ns_ = steady_now_ns();
+  std::vector<pollfd> fds;
+  std::vector<Connection*> fd_conns;
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fd_conns.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    const std::size_t listeners_begin = fds.size();
+    for (const int listener :
+         {uds_listener_, tcp_listener_, control_listener_}) {
+      if (listener >= 0) fds.push_back(pollfd{listener, POLLIN, 0});
+    }
+    const std::size_t conns_begin = fds.size();
+    for (std::unique_ptr<Connection>& conn : connections_) {
+      if (conn->fd < 0) continue;
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+      fd_conns.push_back(conn.get());
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable for the loop
+    }
+
+    // Wake pipe: coalesce every pending command byte.
+    if ((fds[0].revents & POLLIN) != 0) {
+      char commands[64];
+      ssize_t got;
+      while ((got = ::read(wake_pipe_[0], commands, sizeof commands)) > 0) {
+        for (ssize_t i = 0; i < got; ++i) {
+          switch (commands[i]) {
+            case 'q': shutdown_.store(true, std::memory_order_release); break;
+            case 'r': {
+              const std::string result = do_reload("");
+              std::fprintf(stderr, "canids serve: reload %s\n",
+                           result.c_str());
+              break;
+            }
+            case 's':
+              std::fprintf(stderr, "%s\n", status_json().c_str());
+              break;
+            default: break;
+          }
+        }
+      }
+    }
+
+    // Listeners: accept everything pending.
+    for (std::size_t i = listeners_begin; i < conns_begin; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const bool is_control = fds[i].fd == control_listener_;
+      int fd;
+      while ((fd = accept_on(fds[i].fd)) >= 0) {
+        connections_.push_back(std::make_unique<Connection>(
+            fd, next_conn_id_++, is_control, config_.max_line));
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections;
+      }
+    }
+
+    // Connections with input (or hang-ups — recv() reports those as EOF).
+    for (std::size_t i = conns_begin; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Connection& conn = *fd_conns[i - conns_begin];
+      if (conn.fd >= 0) read_connection(conn);
+    }
+
+    // Compact closed connections.
+    for (std::size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->fd < 0) {
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Shutdown: drain every framer, close every stream, drop the sockets.
+  // The engine keeps running — the caller finish()es it (flushing final
+  // windows through the alert handler) and then reads the results.
+  teardown();
+}
+
+}  // namespace canids::serve

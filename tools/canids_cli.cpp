@@ -14,6 +14,14 @@
 //       [--detector NAME] [--shards N] [--producers N] [--alpha A]
 //       [--window S] [--no-pairs] [--calibrate N] [--quiet]
 //       [--queue-capacity N] [--drain-batch N]
+//   canids serve <models>                      long-running live daemon
+//       [--uds PATH] [--port N] [--control PATH] [--alerts-out FILE]
+//       socket ingest of candump lines -> per-stream detection, JSONL
+//       alert streaming, STATUS/RELOAD/SHUTDOWN control protocol, hot
+//       model reload on SIGHUP without disconnecting streams
+//   canids send <capture> --addr ADDR          replay a capture to a daemon
+//       [--key K] [--speed X]                  paced by recorded timestamps
+//   canids ctl <control-socket> <COMMAND...>   one-shot control client
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
 //       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
 //   canids campaign [spec.json] [--smoke] [--out DIR] [grid flags...]
@@ -38,14 +46,21 @@
 // on the first windows of each stream. Malformed capture lines are counted
 // (and surfaced) instead of aborting the run; unknown flags or detector
 // names print usage / the registry listing and exit 1.
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -64,6 +79,9 @@
 #include "metrics/experiment.h"
 #include "model/bundle.h"
 #include "model/store.h"
+#include "serve/alert_json.h"
+#include "serve/replay.h"
+#include "serve/server.h"
 #include "trace/trace_io.h"
 #include "util/table.h"
 
@@ -92,7 +110,16 @@ void print_usage(std::FILE* out) {
                "  canids fleet <models> <dir-or-capture>... "
                "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
                "[--window S] [--no-pairs] [--calibrate N] [--quiet] "
-               "[--queue-capacity N] [--drain-batch N]\n"
+               "[--queue-capacity N] [--drain-batch N] [--alerts-out FILE]\n"
+               "  canids serve <models> [--uds PATH] [--port N [--host H]] "
+               "[--control PATH] [--alerts-out FILE] [--detector NAME] "
+               "[--shards N] [--alpha A] [--window S] [--no-pairs] "
+               "[--calibrate N] [--on-full block|drop-newest] "
+               "[--queue-capacity N] [--drain-batch N] [--max-line N] "
+               "[--quiet]\n"
+               "  canids send <capture> --addr ADDR [--key KEY] [--speed X] "
+               "[--quiet]\n"
+               "  canids ctl <control-socket> STATUS|RELOAD [path]|SHUTDOWN\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
                "[--seed N] [--attack KIND] [--freq HZ]\n"
                "  canids campaign [spec.json] [--smoke] [--out DIR] "
@@ -116,7 +143,17 @@ void print_usage(std::FILE* out) {
                "reassembles all N partials into the full report directory, "
                "byte-identical to the unsharded run. `convert` re-encodes a "
                "capture (default --to binary, the compact fixed-record "
-               "format); every command auto-detects all three formats.\n");
+               "format); every command auto-detects all three formats. "
+               "`serve` runs the fleet engine as a daemon: clients write "
+               "candump lines to --uds/--port (one stream per connection, "
+               "named by a `HELLO <key>` first line), alerts stream as JSON "
+               "lines to SUBSCRIBE-ed connections and --alerts-out, and the "
+               "--control socket (or SIGHUP/SIGUSR1) answers STATUS / "
+               "RELOAD / SHUTDOWN — RELOAD hot-swaps the model bundle "
+               "without disconnecting streams. `send` replays a capture to "
+               "a daemon, paced by recorded timestamps at --speed x "
+               "(0 = unpaced); `fleet --alerts-out` writes the same JSONL "
+               "schema, so live and batch runs diff directly.\n");
 }
 
 int usage() {
@@ -583,8 +620,23 @@ int cmd_fleet(const std::string& models_path,
   }
   if (arg_flag(args, "--no-pairs")) options.pipeline.window.track_pairs = false;
   const bool quiet = arg_flag(args, "--quiet");
+  const auto alerts_out = arg_string(args, "--alerts-out");
   reject_leftovers(args);
   config.pipeline = options.pipeline;
+
+  // --alerts-out mirrors the serve daemon's sink: one serve::to_json_line
+  // per alerting window, so a batch run and a live replay of the same
+  // trace produce diff-able files.
+  std::optional<std::ofstream> alerts_file;
+  std::mutex alerts_file_mutex;
+  if (alerts_out) {
+    alerts_file.emplace(*alerts_out, std::ios::out | std::ios::trunc);
+    if (!*alerts_file) {
+      std::fprintf(stderr, "%s: cannot open for writing\n",
+                   alerts_out->c_str());
+      return 66;
+    }
+  }
 
   const std::vector<std::filesystem::path> paths = collect_captures(inputs);
   if (paths.empty()) {
@@ -605,15 +657,19 @@ int cmd_fleet(const std::string& models_path,
     throw UsageError{"--detector expects a registered detector name"};
   }
   engine::FleetEngine& fleet = *fleet_holder;
-  if (quiet) {
-    // Streaming mode with a no-op handler: alerts are counted but never
-    // retained, keeping long runs at constant memory.
-    fleet.alerts().set_handler([](const engine::FleetAlert&) {});
-  } else {
-    fleet.alerts().set_handler([](const engine::FleetAlert& alert) {
-      print_alert(alert.stream.c_str(), alert.verdict);
-    });
-  }
+  // Streaming handler instead of retained alerts: long runs stay at
+  // constant memory. Shard workers call it concurrently, so the JSONL
+  // sink is mutex-guarded.
+  fleet.alerts().set_handler(
+      [&alerts_file, &alerts_file_mutex, quiet](
+          const engine::FleetAlert& alert) {
+        if (alerts_file) {
+          const std::string line = serve::to_json_line(alert);
+          const std::lock_guard<std::mutex> lock(alerts_file_mutex);
+          *alerts_file << line << '\n';
+        }
+        if (!quiet) print_alert(alert.stream.c_str(), alert.verdict);
+      });
 
   // Stream keys: bare filenames, unless two captures share one (e.g. the
   // same log name under two fleet directories) — then full paths, so
@@ -672,8 +728,271 @@ int cmd_fleet(const std::string& models_path,
                 static_cast<unsigned long long>(totals.parse_errors),
                 static_cast<unsigned long long>(totals.dropped_frames));
   }
+  if (alerts_file) {
+    alerts_file->flush();
+    std::printf("alerts -> %s\n", alerts_out->c_str());
+  }
   if (!run.errors.empty()) return 65;
   return totals.alerts > 0 ? 2 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Live service: `canids serve` wraps a FleetEngine in a socket front door
+// (src/serve), `canids send` replays a capture into it, and `canids ctl`
+// speaks the one-line control protocol.
+
+/// The running server, published for the signal handlers. Only valid while
+/// cmd_serve is inside ServeServer::run().
+std::atomic<serve::ServeServer*> g_serve_server{nullptr};
+
+extern "C" void serve_signal_handler(int signum) {
+  // Async-signal-safe: atomic load + ServeServer::post_* (one write(2) to a
+  // self-pipe each).
+  serve::ServeServer* server = g_serve_server.load(std::memory_order_acquire);
+  if (server == nullptr) return;
+  if (signum == SIGHUP) {
+    server->post_reload();
+  } else if (signum == SIGUSR1) {
+    server->post_status();
+  } else {
+    server->post_shutdown();
+  }
+}
+
+int cmd_serve(const std::string& models_path, std::vector<std::string> args) {
+  const auto models = load_models(models_path);
+  if (!models) return 66;
+  if (!models->golden) {
+    std::fprintf(stderr, "%s: bundle has no golden-template section\n",
+                 models_path.c_str());
+    return 66;
+  }
+
+  engine::FleetConfig config;
+  analysis::DetectorOptions options;
+  const std::string detector_name =
+      arg_string(args, "--detector").value_or("bit-entropy");
+  if (const auto shards = arg_number(args, "--shards")) {
+    config.shards = static_cast<int>(*shards);
+  }
+  if (const auto capacity =
+          arg_integer(args, "--queue-capacity", 1, 1 << 24)) {
+    if ((*capacity & (*capacity - 1)) != 0) {
+      throw UsageError{
+          "--queue-capacity expects a power of two (the per-stream SPSC "
+          "ring is mask-indexed)"};
+    }
+    config.queue_capacity = static_cast<std::size_t>(*capacity);
+  }
+  if (const auto drain = arg_integer(args, "--drain-batch", 1, 1 << 20)) {
+    config.drain_batch = static_cast<std::size_t>(*drain);
+  }
+  if (const auto alpha = arg_number(args, "--alpha")) {
+    options.pipeline.detector.alpha = *alpha;
+    options.muter.alpha = *alpha;
+  }
+  if (const auto window = arg_number(args, "--window")) {
+    options.pipeline.window.duration = util::from_seconds(*window);
+  }
+  if (const auto calibrate = arg_calibrate(args)) {
+    options.calibration_windows = *calibrate;
+  }
+  if (arg_flag(args, "--no-pairs")) options.pipeline.window.track_pairs = false;
+  const std::string on_full =
+      arg_string(args, "--on-full").value_or("block");
+  if (on_full == "block") {
+    config.on_full = engine::BackpressurePolicy::kBlock;
+  } else if (on_full == "drop-newest") {
+    config.on_full = engine::BackpressurePolicy::kDropNewest;
+  } else {
+    throw UsageError{"--on-full expects block or drop-newest"};
+  }
+
+  serve::ServeConfig serve_config;
+  serve_config.models_path = models_path;
+  serve_config.uds_path = arg_string(args, "--uds").value_or("");
+  if (const auto port = arg_integer(args, "--port", 0, 65535)) {
+    serve_config.tcp_port = static_cast<int>(*port);
+  }
+  serve_config.tcp_host = arg_string(args, "--host").value_or("127.0.0.1");
+  serve_config.control_path = arg_string(args, "--control").value_or("");
+  serve_config.alerts_out = arg_string(args, "--alerts-out").value_or("");
+  if (const auto max_line = arg_integer(args, "--max-line", 64, 1 << 20)) {
+    serve_config.max_line = static_cast<std::size_t>(*max_line);
+  }
+  const bool quiet = arg_flag(args, "--quiet");
+  reject_leftovers(args);
+  config.pipeline = options.pipeline;
+
+  if (serve_config.uds_path.empty() && serve_config.tcp_port < 0) {
+    throw UsageError{
+        "serve needs at least one data listener: --uds PATH and/or --port N"};
+  }
+
+  std::unique_ptr<engine::FleetEngine> fleet_holder;
+  try {
+    fleet_holder = std::make_unique<engine::FleetEngine>(
+        *models, detector_name, options, config);
+  } catch (const analysis::UnknownDetectorError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    cmd_detectors();
+    throw UsageError{"--detector expects a registered detector name"};
+  }
+  engine::FleetEngine& fleet = *fleet_holder;
+
+  serve::ServeServer server(fleet, serve_config);
+  if (!quiet) {
+    if (!serve_config.uds_path.empty()) {
+      std::printf("listening on unix:%s\n", serve_config.uds_path.c_str());
+    }
+    if (server.tcp_port() >= 0) {
+      std::printf("listening on %s:%d\n", serve_config.tcp_host.c_str(),
+                  server.tcp_port());
+    }
+    if (!serve_config.control_path.empty()) {
+      std::printf("control socket unix:%s\n",
+                  serve_config.control_path.c_str());
+    }
+    std::printf(
+        "detector=%s shards=%d on-full=%s — SIGHUP reloads models, SIGUSR1 "
+        "dumps status, SIGINT/SIGTERM shut down\n",
+        detector_name.c_str(), fleet.shards(), on_full.c_str());
+    std::fflush(stdout);
+  }
+
+  fleet.start();
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGHUP, serve_signal_handler);
+  std::signal(SIGUSR1, serve_signal_handler);
+  std::signal(SIGPIPE, SIG_IGN);  // slow subscribers must not kill the daemon
+
+  server.run();
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
+  std::signal(SIGUSR1, SIG_DFL);
+  g_serve_server.store(nullptr, std::memory_order_release);
+
+  // run() closed every stream; finish() drains the queues (alerts emitted
+  // here still reach the sinks) and joins the workers.
+  const std::vector<engine::StreamResult> streams = fleet.finish();
+  server.flush_alerts();
+
+  if (!quiet) {
+    const ids::PipelineCounters& totals = fleet.totals();
+    const serve::ServeStats stats = server.stats();
+    std::printf(
+        "served %llu connections, %llu streams: %llu frames, %llu windows, "
+        "%llu alerts, %llu reloads\n",
+        static_cast<unsigned long long>(stats.connections),
+        static_cast<unsigned long long>(stats.streams_opened),
+        static_cast<unsigned long long>(totals.frames),
+        static_cast<unsigned long long>(totals.windows_closed),
+        static_cast<unsigned long long>(totals.alerts),
+        static_cast<unsigned long long>(stats.reloads));
+    if (totals.parse_errors > 0 || totals.queue_dropped > 0 ||
+        stats.subscriber_dropped > 0) {
+      std::printf(
+          "ingest: %llu malformed lines, %llu frames queue-dropped, %llu "
+          "subscriber lines dropped\n",
+          static_cast<unsigned long long>(totals.parse_errors),
+          static_cast<unsigned long long>(totals.queue_dropped),
+          static_cast<unsigned long long>(stats.subscriber_dropped));
+    }
+  }
+  (void)streams;
+  return 0;
+}
+
+int cmd_send(const std::string& trace_path, std::vector<std::string> args) {
+  const auto addr = arg_string(args, "--addr");
+  if (!addr) {
+    throw UsageError{
+        "send needs --addr (a unix socket path containing '/' or host:port)"};
+  }
+  serve::SendOptions options;
+  options.key = arg_string(args, "--key").value_or("");
+  if (const auto speed = arg_number(args, "--speed")) {
+    if (*speed < 0.0) {
+      throw UsageError{"--speed expects >= 0 (0 = unpaced)"};
+    }
+    options.speed = *speed;
+  }
+  const bool quiet = arg_flag(args, "--quiet");
+  reject_leftovers(args);
+
+  const auto started = std::chrono::steady_clock::now();
+  const serve::SendStats stats =
+      serve::send_trace(*addr, trace_path, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  if (!quiet) {
+    std::printf("%llu frames (%llu bytes) -> %s in %.2fs (%.0f frames/s)\n",
+                static_cast<unsigned long long>(stats.frames),
+                static_cast<unsigned long long>(stats.bytes), addr->c_str(),
+                elapsed,
+                elapsed > 0 ? static_cast<double>(stats.frames) / elapsed
+                            : 0.0);
+  }
+  return 0;
+}
+
+int cmd_ctl(const std::string& addr, const std::vector<std::string>& words) {
+  if (words.empty()) {
+    throw UsageError{
+        "usage: canids ctl <control-socket> STATUS|RELOAD [path]|SHUTDOWN"};
+  }
+  std::string command;
+  for (const std::string& word : words) {
+    if (!command.empty()) command.push_back(' ');
+    command += word;
+  }
+  command.push_back('\n');
+
+  const int fd = serve::connect_addr(addr);
+  std::string reply;
+  try {
+    const char* data = command.data();
+    std::size_t remaining = command.size();
+    while (remaining > 0) {
+      const ssize_t sent = ::send(fd, data, remaining, MSG_NOSIGNAL);
+      if (sent > 0) {
+        data += sent;
+        remaining -= static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    // One reply line per command line.
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+      if (got > 0) {
+        reply.append(buf, static_cast<std::size_t>(got));
+        if (reply.find('\n') != std::string::npos) break;
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      if (got == 0) break;  // daemon closed (e.g. right after SHUTDOWN)
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (const std::size_t newline = reply.find('\n');
+      newline != std::string::npos) {
+    reply.resize(newline);
+  }
+  std::printf("%s\n", reply.c_str());
+  return reply.rfind("error", 0) == 0 ? 65 : 0;
 }
 
 int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
@@ -1108,6 +1427,24 @@ int main(int argc, char** argv) {
         return usage();
       }
       return cmd_fleet(tpl, inputs, std::move(flags));
+    }
+    if (command == "serve") {
+      auto model_flag = arg_string(args, "--model");
+      if (!model_flag) model_flag = arg_string(args, "--template");
+      if (model_flag) {
+        return cmd_serve(*model_flag, std::move(args));
+      }
+      if (!args.empty() && args[0].rfind("--", 0) != 0) {
+        return cmd_serve(args[0], {args.begin() + 1, args.end()});
+      }
+      return usage();
+    }
+    if (command == "send" && !args.empty() &&
+        args[0].rfind("--", 0) != 0) {
+      return cmd_send(args[0], {args.begin() + 1, args.end()});
+    }
+    if (command == "ctl" && !args.empty()) {
+      return cmd_ctl(args[0], {args.begin() + 1, args.end()});
     }
     if (command == "campaign") {
       return cmd_campaign(std::move(args));
