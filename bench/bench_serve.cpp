@@ -10,6 +10,12 @@
 //                           the socket to the alert JSON line arriving on a
 //                           SUBSCRIBE connection
 //
+// Latency percentiles come from the shared telemetry::Histogram (the same
+// fixed ladder the serve daemon exports over METRICS), not an ad-hoc
+// sorted-vector computation; the SHAPE check asserts the two approaches
+// agree on a hand-built sample. Telemetry sampling stays off in the
+// throughput runs — the bench measures the unperturbed hot path.
+//
 //   ./bench_serve              ->  BENCH_serve.json
 #include <sys/socket.h>
 #include <unistd.h>
@@ -20,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,6 +39,7 @@
 #include "serve/line_framing.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "telemetry/metrics.h"
 #include "trace/candump.h"
 #include "trace/log_record.h"
 #include "util/bench_json.h"
@@ -186,6 +194,20 @@ struct LatencyStats {
   std::size_t alerts = 0;
 };
 
+/// Reduce a latency histogram (nanosecond observations) to the reported
+/// microsecond stats — one percentile implementation for the bench and
+/// the daemon's exposition.
+LatencyStats stats_from(const telemetry::HistogramSnapshot& snap) {
+  LatencyStats stats;
+  stats.alerts = snap.count();
+  if (stats.alerts == 0) return stats;
+  stats.mean_us = static_cast<double>(snap.sum) /
+                  static_cast<double>(stats.alerts) / 1000.0;
+  stats.p50_us = snap.quantile(0.5) / 1000.0;
+  stats.p99_us = snap.quantile(0.99) / 1000.0;
+  return stats;
+}
+
 /// Per-window alert latency: send every frame of window k, then the first
 /// frame of window k+1 (which closes k), and clock until the alert JSON
 /// line lands on the subscriber connection.
@@ -215,7 +237,7 @@ LatencyStats run_fanout_latency(
   const std::vector<trace::LogRecord> records =
       make_trace(17, kLatencyWindows + 1, true);
 
-  std::vector<double> latencies_us;
+  telemetry::Histogram latency_hist(telemetry::latency_bounds_ns());
   serve::LineFramer framer;
   std::size_t pending = 0;  // alert lines parsed but not yet awaited
   std::string line_payload;
@@ -252,10 +274,10 @@ LatencyStats run_fanout_latency(
                   [&pending](std::string_view) { ++pending; });
     }
     --pending;
-    latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(
+    latency_hist.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - sent_at)
-            .count());
+            .count()));
   }
 
   ::close(data);
@@ -265,14 +287,47 @@ LatencyStats run_fanout_latency(
   engine.finish();
   std::filesystem::remove(uds_path);
 
-  LatencyStats stats;
-  stats.alerts = latencies_us.size();
-  std::sort(latencies_us.begin(), latencies_us.end());
-  for (const double v : latencies_us) stats.mean_us += v;
-  stats.mean_us /= static_cast<double>(latencies_us.size());
-  stats.p50_us = latencies_us[latencies_us.size() / 2];
-  stats.p99_us = latencies_us[latencies_us.size() * 99 / 100];
-  return stats;
+  return stats_from(latency_hist.snapshot());
+}
+
+/// The histogram percentiles must agree with the old ad-hoc
+/// sorted-vector computation: on a hand-built sample, each exact
+/// percentile and the histogram's quantile estimate land in the same
+/// bucket of the shared latency ladder (a bucketed estimator cannot
+/// promise more), and count/sum are exact.
+bool percentiles_agree() {
+  std::vector<std::uint64_t> sample;
+  std::uint64_t accumulated = 0;
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    // Spread over ~3 decades (2 µs .. 2 ms), like real fan-out latencies.
+    const std::uint64_t v = 2'000 + rng.below(2'000'000);
+    sample.push_back(v);
+    accumulated += v;
+  }
+
+  telemetry::Histogram hist(telemetry::latency_bounds_ns());
+  for (const std::uint64_t v : sample) hist.observe(v);
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+
+  std::sort(sample.begin(), sample.end());
+  bool ok = snap.count() == sample.size() && snap.sum == accumulated;
+  for (const double q : {0.5, 0.99}) {
+    // The ad-hoc path: index into the sorted sample.
+    const std::uint64_t exact =
+        sample[static_cast<std::size_t>(q * static_cast<double>(
+                                                sample.size()))];
+    const auto estimated = static_cast<std::uint64_t>(snap.quantile(q));
+    if (snap.bucket_index(exact) != snap.bucket_index(estimated)) {
+      std::printf(
+          "FAIL: q=%.2f exact %llu and histogram %llu fall in different "
+          "buckets\n",
+          q, static_cast<unsigned long long>(exact),
+          static_cast<unsigned long long>(estimated));
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -303,6 +358,12 @@ int main() {
       "us over %zu alerts\n",
       latency.mean_us, latency.p50_us, latency.p99_us, latency.alerts);
 
+  bool ok = percentiles_agree();
+  if (latency.alerts == 0) {
+    std::printf("FAIL: fan-out run produced no alerts\n");
+    ok = false;
+  }
+
   util::write_bench_json(
       "serve",
       {{"frames", static_cast<double>(records.size())},
@@ -314,5 +375,6 @@ int main() {
        {"fanout_latency_p99_us", latency.p99_us},
        {"fanout_alerts", static_cast<double>(latency.alerts)},
        {"wall_seconds", timer.seconds()}});
-  return 0;
+  std::cout << (ok ? "SHAPE OK\n" : "SHAPE MISMATCH\n");
+  return ok ? 0 : 1;
 }

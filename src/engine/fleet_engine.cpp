@@ -118,6 +118,10 @@ std::uint64_t FleetEngine::Stream::queue_dropped() const noexcept {
   return state_->queue_dropped.load(std::memory_order_relaxed);
 }
 
+std::uint64_t FleetEngine::Stream::parse_errors() const noexcept {
+  return state_->parse_errors.load(std::memory_order_relaxed);
+}
+
 StreamStatus FleetEngine::Stream::status() const { return state_->status(); }
 
 FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
@@ -145,6 +149,23 @@ FleetEngine::FleetEngine(std::unique_ptr<analysis::DetectorBackend> prototype,
   shards_.reserve(static_cast<std::size_t>(shard_count_));
   for (int i = 0; i < shard_count_; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (config_.metrics && config_.telemetry_sample > 0) {
+    telemetry::MetricsRegistry& reg = *config_.metrics;
+    hot_.scoring = &reg.histogram(
+        "canids_scoring_batch_ns",
+        "DetectorBackend::on_frames wall time per sampled drained batch.",
+        telemetry::latency_bounds_ns());
+    hot_.verdict_latency = &reg.histogram(
+        "canids_verdict_latency_ns",
+        "Drain-start to alert-fan-out latency of window verdicts in "
+        "sampled batches.",
+        telemetry::latency_bounds_ns());
+    hot_.occupancy = &reg.histogram(
+        "canids_queue_occupancy_frames",
+        "Stream queue occupancy (drained batch + frames still queued) at "
+        "sampled drains.",
+        telemetry::pow2_bounds(21));
   }
 }
 
@@ -215,6 +236,11 @@ FleetEngine::Stream FleetEngine::open_stream(
     shard.incoming.push_back(state);
     shard.has_incoming.store(true, std::memory_order_release);
   }
+  if (config_.events) {
+    config_.events->emit("stream_open", {{"stream", state->key},
+                                         {"shard", shard_index},
+                                         {"generation", state->generation}});
+  }
   return Stream(state);
 }
 
@@ -228,14 +254,20 @@ void FleetEngine::start() {
 }
 
 void FleetEngine::reload_models(analysis::ModelRefs models) {
-  const std::lock_guard<std::mutex> lock(reload_mutex_);
-  // The prototype is the validator: an incompatible model throws here and
-  // neither the prototype nor any stream has changed.
-  prototype_->rebind_models(models);
-  reload_refs_ = std::move(models);
-  // Publish AFTER the refs are in place: a worker that observes the new
-  // generation takes reload_mutex_ before reading reload_refs_.
-  generation_.fetch_add(1, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(reload_mutex_);
+    // The prototype is the validator: an incompatible model throws here and
+    // neither the prototype nor any stream has changed.
+    prototype_->rebind_models(models);
+    reload_refs_ = std::move(models);
+    // Publish AFTER the refs are in place: a worker that observes the new
+    // generation takes reload_mutex_ before reading reload_refs_.
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  if (config_.events) {
+    config_.events->emit("model_reload",
+                         {{"generation", model_generation()}});
+  }
 }
 
 std::vector<StreamStatus> FleetEngine::status() const {
@@ -246,6 +278,58 @@ std::vector<StreamStatus> FleetEngine::status() const {
     rows.push_back(state->status());
   }
   return rows;
+}
+
+void FleetEngine::publish_metrics() {
+  if (!config_.metrics) return;
+  telemetry::MetricsRegistry& reg = *config_.metrics;
+  ids::PipelineCounters totals;
+  std::size_t depth = 0;
+  std::uint64_t opened = 0;
+  std::uint64_t drained = 0;
+  for (const StreamStatus& row : status()) {
+    totals += row.counters;
+    depth += row.queue_depth;
+    ++opened;
+    if (row.drained) ++drained;
+  }
+  // fold (CAS max), not set: counters must stay monotonic even though the
+  // per-stream snapshots they are recomputed from can transiently lag the
+  // workers by one drain batch between scrapes.
+  reg.counter("canids_frames_total",
+              "Frames accepted into detector backends.")
+      .fold(totals.frames);
+  reg.counter("canids_windows_closed_total", "Detection windows closed.")
+      .fold(totals.windows_closed);
+  reg.counter("canids_windows_evaluated_total",
+              "Closed windows that were judged (not calibration).")
+      .fold(totals.windows_evaluated);
+  reg.counter("canids_alerts_total", "Alerting window verdicts.")
+      .fold(totals.alerts);
+  reg.counter("canids_parse_errors_total",
+              "Malformed capture/ingest lines skipped.")
+      .fold(totals.parse_errors);
+  reg.counter("canids_dropped_frames_total",
+              "Frames outside the detector's scope (non-legal IDs).")
+      .fold(totals.dropped_frames);
+  reg.counter("canids_queue_dropped_total",
+              "Frames discarded by drop-newest backpressure.")
+      .fold(totals.queue_dropped);
+  reg.counter("canids_streams_opened_total", "Streams ever opened.")
+      .fold(opened);
+  reg.counter("canids_streams_drained_total",
+              "Streams fully drained and retired.")
+      .fold(drained);
+  reg.gauge("canids_streams_active",
+            "Streams open and not yet drained.")
+      .set(static_cast<std::int64_t>(opened - drained));
+  reg.gauge("canids_queue_depth_frames",
+            "Frames currently buffered across all stream queues.")
+      .set(static_cast<std::int64_t>(depth));
+  reg.gauge("canids_model_generation",
+            "Completed hot-reload generations (0 = initial models).")
+      .set(static_cast<std::int64_t>(model_generation()));
+  reg.gauge("canids_shards", "Worker shards.").set(shard_count_);
 }
 
 void FleetEngine::handle_verdict(StreamState& stream,
@@ -260,14 +344,42 @@ void FleetEngine::worker_loop(Shard& shard) {
   batch.reserve(config_.drain_batch);
   std::vector<analysis::WindowVerdict> verdicts;
 
+  // Latency sampling: time every Nth drained batch. With sampling off
+  // (the default) the per-batch cost is one false branch — no clock
+  // reads, no atomics — so verdict byte-identity and throughput hold.
+  const std::size_t sample_every =
+      hot_.scoring != nullptr ? config_.telemetry_sample : 0;
+  std::size_t sample_tick = 0;
+
   auto feed = [&](StreamState& stream) {
     // One batched backend call per drained block — the SIMD-counted hot
     // path; verdicts come back in close order, exactly as per-frame calls
     // would have produced them.
     verdicts.clear();
+    std::int64_t t0 = 0;
+    const bool sampled = sample_every != 0 && ++sample_tick >= sample_every;
+    if (sampled) {
+      sample_tick = 0;
+      hot_.occupancy->observe(batch.size() + stream.queue.size_approx());
+      t0 = telemetry::steady_now_ns();
+    }
     stream.backend->on_frames(batch.data(), batch.size(), verdicts);
+    if (sampled) {
+      hot_.scoring->observe(
+          static_cast<std::uint64_t>(telemetry::steady_now_ns() - t0));
+    }
+    const std::size_t closed = verdicts.size();
     for (analysis::WindowVerdict& verdict : verdicts) {
       handle_verdict(stream, std::move(verdict));
+    }
+    if (sampled && closed > 0) {
+      // Verdict latency = drain start to fan-out done, once per verdict
+      // the batch closed (they all completed at the same instant).
+      const auto elapsed =
+          static_cast<std::uint64_t>(telemetry::steady_now_ns() - t0);
+      for (std::size_t v = 0; v < closed; ++v) {
+        hot_.verdict_latency->observe(elapsed);
+      }
     }
     stream.publish_snapshot();
   };
@@ -326,6 +438,13 @@ void FleetEngine::worker_loop(Shard& shard) {
       }
       stream->publish_snapshot();
       stream->drained.store(true, std::memory_order_release);
+      if (config_.events) {
+        const ids::PipelineCounters& done = stream->backend->counters();
+        config_.events->emit("stream_drained",
+                             {{"stream", stream->key},
+                              {"frames", done.frames},
+                              {"alerts", done.alerts}});
+      }
       active[i] = active.back();
       active.pop_back();
       progressed = true;
@@ -394,7 +513,17 @@ FleetRunResult run_fleet(FleetEngine& engine,
   FleetRunResult result;
   std::mutex error_mutex;
   std::atomic<std::size_t> next{0};
+  // Ingest-side latency sampling, same knob as the shard workers.
+  telemetry::Histogram* fill_hist = nullptr;
+  const std::size_t fill_sample = engine.config().telemetry_sample;
+  if (engine.config().metrics && fill_sample > 0) {
+    fill_hist = &engine.config().metrics->histogram(
+        "canids_ingest_fill_ns",
+        "TraceSource::fill wall time per sampled ingest batch.",
+        telemetry::latency_bounds_ns());
+  }
   auto pump = [&] {
+    std::size_t fill_tick = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= sources.size()) break;
@@ -408,8 +537,19 @@ FleetRunResult run_fleet(FleetEngine& engine,
         frames.clear();
         bool parse_error = false;
         bool fatal = false;
+        const bool sampled =
+            fill_hist != nullptr && ++fill_tick >= fill_sample;
+        std::int64_t t0 = 0;
+        if (sampled) {
+          fill_tick = 0;
+          t0 = telemetry::steady_now_ns();
+        }
         try {
           source.fill(frames, kIngestBatch);
+          if (sampled) {
+            fill_hist->observe(
+                static_cast<std::uint64_t>(telemetry::steady_now_ns() - t0));
+          }
         } catch (const trace::ParseError&) {
           // A malformed line: the parser consumed it, frames decoded
           // before it are already in `frames`, and the source recovers on

@@ -34,6 +34,8 @@
 #include "engine/spsc_queue.h"
 #include "ids/pipeline.h"
 #include "model/store.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
 #include "trace/trace_source.h"
 
 namespace canids::engine {
@@ -69,6 +71,18 @@ struct FleetConfig {
   /// Retain every WindowVerdict per stream (memory grows with window count;
   /// meant for the determinism tests and small fleets, not production).
   bool collect_verdicts = false;
+  /// Telemetry sink. When set, publish_metrics() folds the same per-stream
+  /// snapshots STATUS reads into this registry at scrape time — counters
+  /// and gauges cost the hot path nothing. Null = no metrics anywhere.
+  std::shared_ptr<telemetry::MetricsRegistry> metrics;
+  /// Structured lifecycle event sink (stream open/drain, model reloads).
+  /// Only cold paths emit; null = no events.
+  std::shared_ptr<telemetry::EventLog> events;
+  /// Hot-path latency sampling: time every Nth drained batch (scoring,
+  /// verdict latency, queue occupancy) and every Nth run_fleet fill into
+  /// `metrics` histograms. 0 (default) disables all hot-path timing even
+  /// with a registry present — verdicts and throughput are unperturbed.
+  std::size_t telemetry_sample = 0;
 };
 
 /// Final per-stream accounting returned by FleetEngine::finish.
@@ -126,6 +140,8 @@ class FleetEngine {
     [[nodiscard]] const std::string& key() const noexcept;
     /// Frames discarded by kDropNewest backpressure so far.
     [[nodiscard]] std::uint64_t queue_dropped() const noexcept;
+    /// Malformed lines recorded via record_parse_error() so far.
+    [[nodiscard]] std::uint64_t parse_errors() const noexcept;
     /// Live observability row for this stream (safe from any thread).
     [[nodiscard]] StreamStatus status() const;
 
@@ -198,6 +214,13 @@ class FleetEngine {
   /// status endpoint). Safe while the engine runs.
   [[nodiscard]] std::vector<StreamStatus> status() const;
 
+  /// Fold the engine's live state into config().metrics — the scrape-time
+  /// path behind the serve METRICS verb and `canids fleet --metrics-out`.
+  /// Reads the same per-stream snapshots as status(), so the exposition,
+  /// STATUS, and the fleet table cannot disagree. No-op without a
+  /// registry; safe from any thread while the engine runs.
+  void publish_metrics();
+
   [[nodiscard]] int shards() const noexcept { return shard_count_; }
   [[nodiscard]] int shard_of(std::string_view key) const noexcept;
   [[nodiscard]] std::size_t stream_count() const noexcept {
@@ -228,6 +251,15 @@ class FleetEngine {
   void worker_loop(Shard& shard);
   void handle_verdict(StreamState& stream, analysis::WindowVerdict verdict);
 
+  /// Hot-path latency instruments, registered once at construction when
+  /// config.metrics is set with telemetry_sample > 0; workers capture the
+  /// raw pointers (stable for the registry's lifetime).
+  struct HotMetrics {
+    telemetry::Histogram* scoring = nullptr;
+    telemetry::Histogram* verdict_latency = nullptr;
+    telemetry::Histogram* occupancy = nullptr;
+  };
+
   std::unique_ptr<analysis::DetectorBackend> prototype_;
   FleetConfig config_;
   int shard_count_;
@@ -243,6 +275,7 @@ class FleetEngine {
   analysis::ModelRefs reload_refs_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<bool> started_{false};
+  HotMetrics hot_;
   bool finished_ = false;
   /// finish() in flight: workers may exit once their rotation drains.
   std::atomic<bool> stopping_{false};

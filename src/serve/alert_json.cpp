@@ -9,35 +9,6 @@
 
 namespace canids::serve {
 
-void append_json_string(std::string& out, std::string_view value) {
-  out.push_back('"');
-  for (const char c : value) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-}
-
-void append_json_double(std::string& out, double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += buf;
-}
-
 std::string to_json_line(const engine::FleetAlert& alert) {
   const analysis::WindowVerdict& v = alert.verdict;
   std::string out;

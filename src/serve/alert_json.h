@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "engine/alert_sink.h"
+#include "util/json.h"
 
 namespace canids::serve {
 
@@ -28,11 +29,9 @@ namespace canids::serve {
 /// superset of the schema). Throws std::runtime_error on malformed input.
 [[nodiscard]] engine::FleetAlert parse_json_line(std::string_view line);
 
-/// Append a JSON string literal (quotes + escaping) to `out`.
-void append_json_string(std::string& out, std::string_view value);
-
-/// Append a double with round-trip precision (%.17g; "inf"/"nan" never
-/// occur in verdicts — metric/threshold are finite by construction).
-void append_json_double(std::string& out, double value);
+/// Shared JSON appenders (quotes + escaping; %.17g doubles) — the same
+/// primitives the telemetry event log renders with.
+using util::append_json_double;
+using util::append_json_string;
 
 }  // namespace canids::serve

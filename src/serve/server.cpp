@@ -17,6 +17,7 @@
 
 #include "model/store.h"
 #include "serve/alert_json.h"
+#include "telemetry/exposition.h"
 #include "trace/candump.h"
 
 namespace canids::serve {
@@ -126,6 +127,9 @@ struct ServeServer::Connection {
   LineFramer framer;
   std::optional<engine::FleetEngine::Stream> stream;
   std::uint64_t oversized_seen = 0;
+  /// Last values the event log saw (note_stream_events deltas).
+  std::uint64_t parse_errors_seen = 0;
+  std::uint64_t queue_dropped_seen = 0;
 
   Connection(int fd_in, std::uint64_t id_in, bool control_in,
              std::size_t max_line)
@@ -137,6 +141,33 @@ ServeServer::ServeServer(engine::FleetEngine& engine, ServeConfig config)
   if (config_.uds_path.empty() && config_.tcp_port < 0) {
     throw std::invalid_argument(
         "serve: need at least one data listener (uds path or tcp port)");
+  }
+  registry_ = engine_.config().metrics
+                  ? engine_.config().metrics
+                  : std::make_shared<telemetry::MetricsRegistry>();
+  events_ = engine_.config().events;
+  telemetry_sample_ = engine_.config().telemetry_sample;
+  connections_total_ = &registry_->counter(
+      "canids_serve_connections_total",
+      "Accepted socket connections (data + control).");
+  streams_opened_total_ = &registry_->counter(
+      "canids_serve_streams_opened_total",
+      "Engine streams opened for data connections.");
+  alerts_total_ = &registry_->counter(
+      "canids_serve_alerts_total",
+      "Alert lines fanned out (file sink and/or subscribers).");
+  reloads_total_ = &registry_->counter("canids_serve_reloads_total",
+                                       "Successful model reloads.");
+  subscriber_dropped_total_ = &registry_->counter(
+      "canids_serve_subscriber_dropped_total",
+      "Alert lines a slow or gone subscriber did not receive.");
+  uptime_gauge_ = &registry_->gauge("canids_serve_uptime_ns",
+                                    "Nanoseconds since run() started.");
+  if (telemetry_sample_ > 0) {
+    parse_hist_ = &registry_->histogram(
+        "canids_ingest_parse_ns",
+        "Candump line parse wall time per sampled data line.",
+        telemetry::latency_bounds_ns());
   }
   if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
     throw_errno("pipe2");
@@ -221,8 +252,13 @@ void ServeServer::post_status() noexcept {
 }
 
 ServeStats ServeServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServeStats s;
+  s.connections = connections_total_->value();
+  s.streams_opened = streams_opened_total_->value();
+  s.alerts = alerts_total_->value();
+  s.reloads = reloads_total_->value();
+  s.subscriber_dropped = subscriber_dropped_total_->value();
+  return s;
 }
 
 void ServeServer::flush_alerts() {
@@ -243,13 +279,11 @@ void ServeServer::publish_alert(const engine::FleetAlert& alert) {
       const ssize_t sent =
           ::send(fd, line.data(), line.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
       if (sent != static_cast<ssize_t>(line.size())) {
-        const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.subscriber_dropped;
+        subscriber_dropped_total_->add();
       }
     }
   }
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.alerts;
+  alerts_total_->add();
 }
 
 void ServeServer::drop_subscriber(int fd) {
@@ -267,8 +301,7 @@ void ServeServer::open_stream_for(Connection& conn) {
   std::string key = conn.key;
   if (key.empty()) key = "conn-" + std::to_string(conn.id);
   conn.stream = engine_.open_stream(std::move(key));
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.streams_opened;
+  streams_opened_total_->add();
 }
 
 void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
@@ -289,8 +322,18 @@ void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
     }
   }
   trace::LogRecord record;
+  const bool sampled =
+      parse_hist_ != nullptr && ++sample_tick_ >= telemetry_sample_;
+  std::int64_t t0 = 0;
+  if (sampled) {
+    sample_tick_ = 0;
+    t0 = steady_now_ns();
+  }
   try {
     record = trace::parse_candump_line(line);
+    if (sampled) {
+      parse_hist_->observe(static_cast<std::uint64_t>(steady_now_ns() - t0));
+    }
   } catch (const trace::ParseError&) {
     // Same contract as file ingest: count it against the stream and keep
     // the connection alive.
@@ -318,12 +361,13 @@ std::string ServeServer::do_reload(const std::string& path) {
     refs.interval = models.interval;
     engine_.reload_models(refs);
   } catch (const std::exception& e) {
+    if (events_) {
+      events_->emit("reload_error",
+                    {{"path", effective}, {"error", e.what()}});
+    }
     return std::string("error: ") + e.what();
   }
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.reloads;
-  }
+  reloads_total_->add();
   return "ok generation=" + std::to_string(engine_.model_generation());
 }
 
@@ -332,6 +376,12 @@ void ServeServer::handle_control_line(Connection& conn,
   std::string reply;
   if (line == "STATUS") {
     reply = status_json();
+  } else if (line == "METRICS") {
+    // The one multi-line reply: full Prometheus exposition, terminated by
+    // a "# EOF" marker line so clients on a still-open connection know
+    // where it ends.
+    reply = metrics_text();
+    reply += "# EOF";
   } else if (line == "SHUTDOWN") {
     reply = "ok";
     shutdown_.store(true, std::memory_order_release);
@@ -340,10 +390,19 @@ void ServeServer::handle_control_line(Connection& conn,
     if (line.size() > 7) path = std::string(line.substr(7));
     reply = do_reload(path);
   } else {
-    reply = "error: unknown command (STATUS | RELOAD [path] | SHUTDOWN)";
+    reply =
+        "error: unknown command (STATUS | METRICS | RELOAD [path] | "
+        "SHUTDOWN)";
   }
   reply.push_back('\n');
   send_all(conn.fd, reply.data(), reply.size());
+}
+
+std::string ServeServer::metrics_text() {
+  engine_.publish_metrics();
+  const std::int64_t started = started_ns_;
+  uptime_gauge_->set(started == 0 ? 0 : steady_now_ns() - started);
+  return telemetry::to_prometheus_text(*registry_);
 }
 
 std::string ServeServer::status_json() const {
@@ -397,6 +456,26 @@ int ServeServer::accept_on(int listener_fd) {
   return fd;
 }
 
+void ServeServer::note_stream_events(Connection& conn) {
+  if (!events_ || !conn.stream) return;
+  const std::uint64_t dropped = conn.stream->queue_dropped();
+  if (dropped != conn.queue_dropped_seen) {
+    events_->emit("queue_drop",
+                  {{"stream", conn.stream->key()},
+                   {"dropped", dropped - conn.queue_dropped_seen},
+                   {"total", dropped}});
+    conn.queue_dropped_seen = dropped;
+  }
+  const std::uint64_t parse_errors = conn.stream->parse_errors();
+  if (parse_errors != conn.parse_errors_seen) {
+    events_->emit("parse_error_burst",
+                  {{"stream", conn.stream->key()},
+                   {"errors", parse_errors - conn.parse_errors_seen},
+                   {"total", parse_errors}});
+    conn.parse_errors_seen = parse_errors;
+  }
+}
+
 void ServeServer::read_connection(Connection& conn) {
   char buffer[65536];
   // Bounded reads per poll round so one firehose client cannot starve the
@@ -422,6 +501,9 @@ void ServeServer::read_connection(Connection& conn) {
           }
           conn.oversized_seen = oversized;
         }
+        // One event per recv chunk at most — bursts coalesce into one
+        // line with a delta, not an event per frame.
+        note_stream_events(conn);
       }
       if (got < static_cast<ssize_t>(sizeof buffer)) return;
       continue;
@@ -447,7 +529,13 @@ void ServeServer::close_connection(Connection& conn) {
     // worker flushes its last (possibly partial) window.
     conn.framer.finish(
         [&](std::string_view line) { handle_data_line(conn, line); });
-    if (conn.stream) conn.stream->close();
+    if (conn.stream) {
+      conn.stream->close();
+      note_stream_events(conn);
+      if (events_) {
+        events_->emit("stream_close", {{"stream", conn.stream->key()}});
+      }
+    }
   }
   ::close(conn.fd);
   conn.fd = -1;
@@ -455,6 +543,11 @@ void ServeServer::close_connection(Connection& conn) {
 
 void ServeServer::run() {
   started_ns_ = steady_now_ns();
+  if (events_) {
+    events_->emit("serve_start", {{"uds", config_.uds_path},
+                                  {"tcp_port", tcp_port_},
+                                  {"control", config_.control_path}});
+  }
   std::vector<pollfd> fds;
   std::vector<Connection*> fd_conns;
 
@@ -511,8 +604,7 @@ void ServeServer::run() {
       while ((fd = accept_on(fds[i].fd)) >= 0) {
         connections_.push_back(std::make_unique<Connection>(
             fd, next_conn_id_++, is_control, config_.max_line));
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.connections;
+        connections_total_->add();
       }
     }
 
@@ -538,6 +630,11 @@ void ServeServer::run() {
   // The engine keeps running — the caller finish()es it (flushing final
   // windows through the alert handler) and then reads the results.
   teardown();
+  if (events_) {
+    events_->emit("serve_stop",
+                  {{"connections", connections_total_->value()},
+                   {"alerts", alerts_total_->value()}});
+  }
 }
 
 }  // namespace canids::serve

@@ -18,10 +18,19 @@
 // connection keeps going — same contract as file ingest. Closing the
 // connection closes the stream; its final partial window is still judged.
 //
-// Control protocol (one reply line per command line):
+// Control protocol (one reply line per command line; METRICS is the one
+// multi-line reply, terminated by a "# EOF" line):
 //   STATUS           -> the status JSON object
+//   METRICS          -> Prometheus text exposition, then "# EOF"
 //   RELOAD [path]    -> "ok generation=N" | "error: <why>"
 //   SHUTDOWN         -> "ok" (run() returns after teardown)
+//
+// Observability: the server publishes service-level counters into the
+// engine's telemetry::MetricsRegistry (or a private one when the engine
+// has none), so STATUS, the METRICS exposition, and stats() are three
+// views of the same instruments. Lifecycle events (serve start/stop,
+// stream close, queue-drop and parse-error bursts, reload failures) go to
+// the engine's EventLog when configured.
 #pragma once
 
 #include <atomic>
@@ -104,6 +113,11 @@ class ServeServer {
   /// generation + one row per stream. Thread-safe.
   [[nodiscard]] std::string status_json() const;
 
+  /// The Prometheus exposition behind the METRICS verb: folds the
+  /// engine's state into the registry (FleetEngine::publish_metrics),
+  /// refreshes serve-level gauges, renders. Thread-safe.
+  [[nodiscard]] std::string metrics_text();
+
   [[nodiscard]] ServeStats stats() const;
 
   /// Flush the alerts-out sink (call after engine.finish()).
@@ -123,6 +137,9 @@ class ServeServer {
   std::string do_reload(const std::string& path);
   void publish_alert(const engine::FleetAlert& alert);
   void drop_subscriber(int fd);
+  /// Emit queue_drop / parse_error_burst events for counters that moved
+  /// since this connection's last recv chunk (coalesces bursts).
+  void note_stream_events(Connection& conn);
 
   engine::FleetEngine& engine_;
   ServeConfig config_;
@@ -143,8 +160,23 @@ class ServeServer {
   std::vector<int> subscribers_;
   std::optional<std::ofstream> alerts_out_;
 
-  mutable std::mutex stats_mutex_;
-  ServeStats stats_;
+  /// Service-level instruments. The registry is the engine's when it has
+  /// one (so METRICS exposes engine + serve families together), else a
+  /// private registry holding only the serve families. The raw pointers
+  /// are stable registry handles — atomic counters, no stats mutex.
+  std::shared_ptr<telemetry::MetricsRegistry> registry_;
+  std::shared_ptr<telemetry::EventLog> events_;
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Counter* streams_opened_total_ = nullptr;
+  telemetry::Counter* alerts_total_ = nullptr;
+  telemetry::Counter* reloads_total_ = nullptr;
+  telemetry::Counter* subscriber_dropped_total_ = nullptr;
+  telemetry::Gauge* uptime_gauge_ = nullptr;
+  /// Candump parse-time histogram, sampled every Nth data line when the
+  /// engine's telemetry_sample knob is on; null = no timing at all.
+  telemetry::Histogram* parse_hist_ = nullptr;
+  std::size_t telemetry_sample_ = 0;
+  std::size_t sample_tick_ = 0;
 
   std::int64_t started_ns_ = 0;  ///< steady-clock run() start
   std::atomic<bool> shutdown_{false};

@@ -1,0 +1,151 @@
+#include "telemetry/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace canids::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text,
+                    bool escape_quotes) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        if (escape_quotes) {
+          out += "\\\"";
+          break;
+        }
+        [[fallthrough]];
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+/// `{k1="v1",k2="v2"}`, or nothing when unlabeled. `extra` appends one
+/// more pair (the histogram `le` label) after the series labels.
+void append_labels(std::string& out, const Labels& labels,
+                   const char* extra_key = nullptr,
+                   std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value, /*escape_quotes=*/true);
+    out.push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out.push_back('"');
+  }
+  out.push_back('}');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(
+    const std::vector<MetricsRegistry::Family>& families) {
+  std::string out;
+  for (const auto& family : families) {
+    out += "# HELP ";
+    out += family.name;
+    out.push_back(' ');
+    append_escaped(out, family.help, /*escape_quotes=*/false);
+    out.push_back('\n');
+    out += "# TYPE ";
+    out += family.name;
+    switch (family.kind) {
+      case MetricKind::kCounter:
+        out += " counter\n";
+        break;
+      case MetricKind::kGauge:
+        out += " gauge\n";
+        break;
+      case MetricKind::kHistogram:
+        out += " histogram\n";
+        break;
+    }
+    for (const auto& series : family.series) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kGauge: {
+          out += family.name;
+          append_labels(out, series.labels);
+          out.push_back(' ');
+          if (family.kind == MetricKind::kCounter) {
+            append_u64(out, series.counter_value);
+          } else {
+            append_i64(out, series.gauge_value);
+          }
+          out.push_back('\n');
+          break;
+        }
+        case MetricKind::kHistogram: {
+          const HistogramSnapshot& h = series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cumulative += h.counts[i];
+            out += family.name;
+            out += "_bucket";
+            std::string le;
+            if (i < h.bounds.size()) {
+              append_u64(le, h.bounds[i]);
+            } else {
+              le = "+Inf";
+            }
+            append_labels(out, series.labels, "le", le);
+            out.push_back(' ');
+            append_u64(out, cumulative);
+            out.push_back('\n');
+          }
+          out += family.name;
+          out += "_sum";
+          append_labels(out, series.labels);
+          out.push_back(' ');
+          append_u64(out, h.sum);
+          out.push_back('\n');
+          out += family.name;
+          out += "_count";
+          append_labels(out, series.labels);
+          out.push_back(' ');
+          append_u64(out, cumulative);
+          out.push_back('\n');
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsRegistry& registry) {
+  return to_prometheus_text(registry.snapshot());
+}
+
+}  // namespace canids::telemetry

@@ -1,0 +1,25 @@
+// Prometheus text-format rendering of a MetricsRegistry snapshot — the
+// payload behind the serve METRICS control verb, `canids ctl ADDR
+// METRICS`, and `canids fleet --metrics-out`. All values are integers
+// rendered exactly, and families/series come out of the registry sorted,
+// so equal registry states produce byte-identical text (the property the
+// golden test and the CI determinism diff pin down).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace canids::telemetry {
+
+/// Render one snapshot. Histograms become the standard cumulative
+/// `_bucket{le="..."}` series (integer bounds, then `le="+Inf"`), plus
+/// `_sum` and `_count`.
+[[nodiscard]] std::string to_prometheus_text(
+    const std::vector<MetricsRegistry::Family>& families);
+
+/// Snapshot-and-render convenience.
+[[nodiscard]] std::string to_prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace canids::telemetry

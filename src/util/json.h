@@ -1,0 +1,20 @@
+// Tiny shared JSON rendering helpers. Both JSONL writers in the tree —
+// the serve alert codec and the telemetry event log — append to a
+// std::string and need exactly these two primitives; keeping them here
+// means one escaping implementation to trust.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace canids::util {
+
+/// Append a JSON string literal (quotes + escaping: `"` `\` control
+/// characters; non-ASCII bytes pass through untouched).
+void append_json_string(std::string& out, std::string_view value);
+
+/// Append a double with round-trip precision (%.17g). Callers only pass
+/// finite values; "inf"/"nan" are never produced by this codebase.
+void append_json_double(std::string& out, double value);
+
+}  // namespace canids::util

@@ -636,5 +636,85 @@ TEST(FleetEngineTest, StatusReportsLiveCountersAndDrainState) {
   engine.finish();
 }
 
+TEST(FleetEngineTest, TelemetrySamplingDoesNotChangeVerdicts) {
+  // The zero-perturbation contract behind --telemetry-sample: timing the
+  // hot path must never alter a verdict, only add histogram observations.
+  const FleetWorld world;
+  const std::vector<can::TimedFrame> frames = world.make_trace(71, 6, {1, 4});
+
+  const auto run_with =
+      [&](std::shared_ptr<telemetry::MetricsRegistry> registry,
+          std::size_t sample) {
+        FleetConfig config;
+        config.shards = 2;
+        config.pipeline = world.pipeline_config();
+        config.collect_verdicts = true;
+        config.metrics = std::move(registry);
+        config.telemetry_sample = sample;
+        FleetEngine engine(world.golden, config);
+        FleetEngine::Stream stream = engine.open_stream("veh");
+        engine.start();
+        for (const can::TimedFrame& frame : frames) {
+          stream.push(frame.timestamp, frame.frame.id());
+        }
+        stream.close();
+        std::vector<StreamResult> results = engine.finish();
+        return results.at(0).verdicts;
+      };
+
+  const auto registry = std::make_shared<telemetry::MetricsRegistry>();
+  const std::vector<analysis::WindowVerdict> plain = run_with(nullptr, 0);
+  const std::vector<analysis::WindowVerdict> sampled = run_with(registry, 3);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, sampled);  // WindowVerdict compares member-wise
+
+  // The sampled run actually recorded hot-path latencies.
+  const auto families = registry->snapshot();
+  const auto scoring = std::find_if(
+      families.begin(), families.end(), [](const auto& family) {
+        return family.name == "canids_scoring_batch_ns";
+      });
+  ASSERT_NE(scoring, families.end());
+  ASSERT_EQ(scoring->series.size(), 1u);
+  EXPECT_GT(scoring->series[0].histogram.count(), 0u);
+}
+
+TEST(FleetEngineTest, PublishMetricsFoldsStatusIntoRegistry) {
+  const FleetWorld world;
+  const std::vector<can::TimedFrame> frames = world.make_trace(81, 4, {2});
+
+  FleetConfig config;
+  config.pipeline = world.pipeline_config();
+  config.metrics = std::make_shared<telemetry::MetricsRegistry>();
+  FleetEngine engine(world.golden, config);
+  FleetEngine::Stream stream = engine.open_stream("veh");
+  engine.start();
+  for (const can::TimedFrame& frame : frames) {
+    stream.push(frame.timestamp, frame.frame.id());
+  }
+  stream.record_parse_error();
+  stream.close();
+  engine.finish();
+
+  engine.publish_metrics();
+  const auto value = [&](std::string_view name) {
+    return config.metrics->counter(name, "").value();
+  };
+  // One source of truth: the registry folds the same totals status()
+  // reports.
+  EXPECT_EQ(value("canids_frames_total"), frames.size());
+  EXPECT_EQ(value("canids_parse_errors_total"), 1u);
+  EXPECT_EQ(value("canids_streams_opened_total"), 1u);
+  EXPECT_EQ(value("canids_streams_drained_total"), 1u);
+  EXPECT_EQ(value("canids_alerts_total"), engine.totals().alerts);
+  EXPECT_GT(engine.totals().alerts, 0u);
+  EXPECT_EQ(config.metrics->gauge("canids_model_generation", "").value(), 0);
+  EXPECT_EQ(config.metrics->gauge("canids_streams_active", "").value(), 0);
+
+  // publish_metrics is a fold — re-publishing never regresses a counter.
+  engine.publish_metrics();
+  EXPECT_EQ(value("canids_frames_total"), frames.size());
+}
+
 }  // namespace
 }  // namespace canids::engine

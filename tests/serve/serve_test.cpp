@@ -8,13 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +31,8 @@
 #include "serve/line_framing.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
 #include "trace/candump.h"
 #include "trace/log_record.h"
 #include "util/rng.h"
@@ -337,10 +342,14 @@ struct RunningServer {
   std::unique_ptr<ServeServer> server;
   std::thread thread;
 
-  RunningServer(const ServeWorld& world, ServeConfig config) {
+  RunningServer(const ServeWorld& world, ServeConfig config)
+      : RunningServer(world, std::move(config), world.fleet_config()) {}
+
+  RunningServer(const ServeWorld& world, ServeConfig config,
+                engine::FleetConfig fleet_config) {
     engine = std::make_unique<engine::FleetEngine>(
         analysis::make_detector("bit-entropy", world.options()),
-        world.fleet_config());
+        std::move(fleet_config));
     server = std::make_unique<ServeServer>(*engine, std::move(config));
     engine->start();
     thread = std::thread([this] { server->run(); });
@@ -561,6 +570,150 @@ TEST(ServeServerTest, HotReloadUnderLoadKeepsVerdictsIdentical) {
 
   std::filesystem::remove(alerts_path);
   std::filesystem::remove(bundle_path);
+}
+
+// ---- METRICS verb + event log ----------------------------------------------
+
+/// Drain a control connection until the exposition's "# EOF" terminator
+/// line arrives; returns the text without the marker.
+std::string read_metrics_reply(int fd) {
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const std::size_t marker = reply.find("# EOF\n");
+    if (marker != std::string::npos) {
+      reply.resize(marker);
+      return reply;
+    }
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return reply;
+    reply.append(buf, static_cast<std::size_t>(got));
+  }
+}
+
+/// Minimal Prometheus text-format check: every line is a comment or
+/// `name[{labels}] <integer>`, every sample's family was announced by a
+/// preceding # TYPE line.
+void expect_valid_prometheus(const std::string& text) {
+  std::vector<std::string> typed_families;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t space = line.find(' ', 7);
+      ASSERT_NE(space, std::string::npos) << line;
+      typed_families.push_back(line.substr(7, space - 7));
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    // Integer-valued samples only — the determinism contract.
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    for (std::size_t i = value[0] == '-' ? 1 : 0; i < value.size(); ++i) {
+      ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(value[i])))
+          << "non-integer sample: " << line;
+    }
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    const bool known = std::any_of(
+        typed_families.begin(), typed_families.end(),
+        [&name](const std::string& family) {
+          return name == family || name == family + "_bucket" ||
+                 name == family + "_sum" || name == family + "_count";
+        });
+    ASSERT_TRUE(known) << "sample before its # TYPE: " << line;
+  }
+}
+
+TEST(ServeServerTest, MetricsVerbAndEventLogCoverTheRun) {
+  const ServeWorld world;
+  const std::vector<trace::LogRecord> records = world.make_trace(11, 5, {2});
+
+  ServeConfig config;
+  config.uds_path = socket_path("metrics-data");
+  config.control_path = socket_path("metrics-ctl");
+  const std::string events_path = config.uds_path + ".events.jsonl";
+
+  engine::FleetConfig fleet_config = world.fleet_config();
+  fleet_config.metrics = std::make_shared<telemetry::MetricsRegistry>();
+  fleet_config.events = std::make_shared<telemetry::EventLog>(events_path);
+  fleet_config.telemetry_sample = 2;
+  RunningServer running(world, config, fleet_config);
+
+  const int data = connect_addr(config.uds_path);
+  send_all(data, "HELLO veh\n");
+  std::string payload;
+  for (const trace::LogRecord& record : records) {
+    payload += trace::to_candump_line(record);
+    payload.push_back('\n');
+  }
+  send_all(data, payload);
+  ::close(data);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<engine::StreamStatus> status = running.engine->status();
+    if (!status.empty() && status.front().drained) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const int control = connect_addr(config.control_path);
+  send_all(control, "METRICS\n");
+  const std::string text = read_metrics_reply(control);
+  ::close(control);
+  expect_valid_prometheus(text);
+
+  // Engine and serve families come out of the one registry together, and
+  // the frame counter agrees with the engine's own accounting.
+  EXPECT_NE(text.find("# TYPE canids_frames_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("canids_frames_total " +
+                      std::to_string(records.size()) + "\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("canids_model_generation 0\n"), std::string::npos);
+  EXPECT_NE(text.find("canids_serve_connections_total"), std::string::npos);
+  // Sampling was on, so the hot-path histograms carry observations.
+  EXPECT_NE(text.find("canids_scoring_batch_ns_count"), std::string::npos);
+
+  // stats() reads the same counters the exposition renders.
+  const ServeStats stats = running.server->stats();
+  EXPECT_EQ(stats.connections, 2u);  // data + this control connection
+  EXPECT_EQ(stats.streams_opened, 1u);
+
+  running.shutdown_and_join();
+  fleet_config.events->flush();
+
+  // The event log recorded the lifecycle in sequence order.
+  std::ifstream in(events_path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.front().rfind("{\"seq\":0,", 0), 0u) << lines.front();
+  std::uint64_t expected_seq = 0;
+  bool saw_open = false, saw_close = false, saw_drained = false,
+       saw_stop = false;
+  for (const std::string& line : lines) {
+    const std::string prefix =
+        "{\"seq\":" + std::to_string(expected_seq) + ",";
+    EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+    ++expected_seq;
+    saw_open |= line.find("\"type\":\"stream_open\"") != std::string::npos;
+    saw_close |= line.find("\"type\":\"stream_close\"") != std::string::npos;
+    saw_drained |=
+        line.find("\"type\":\"stream_drained\"") != std::string::npos;
+    saw_stop |= line.find("\"type\":\"serve_stop\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_close);
+  EXPECT_TRUE(saw_drained);
+  EXPECT_TRUE(saw_stop);
+
+  std::filesystem::remove(events_path);
+  std::filesystem::remove(config.uds_path);
+  std::filesystem::remove(config.control_path);
 }
 
 TEST(SendTraceTest, ReplaysACandumpFileOverTheSocket) {

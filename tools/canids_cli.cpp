@@ -82,6 +82,9 @@
 #include "serve/alert_json.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "telemetry/event_log.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 #include "trace/trace_io.h"
 #include "util/table.h"
 
@@ -110,16 +113,19 @@ void print_usage(std::FILE* out) {
                "  canids fleet <models> <dir-or-capture>... "
                "[--detector NAME] [--shards N] [--producers N] [--alpha A] "
                "[--window S] [--no-pairs] [--calibrate N] [--quiet] "
-               "[--queue-capacity N] [--drain-batch N] [--alerts-out FILE]\n"
+               "[--queue-capacity N] [--drain-batch N] [--alerts-out FILE] "
+               "[--metrics-out FILE] [--telemetry-sample N]\n"
                "  canids serve <models> [--uds PATH] [--port N [--host H]] "
-               "[--control PATH] [--alerts-out FILE] [--detector NAME] "
+               "[--control PATH] [--alerts-out FILE] [--events-out FILE] "
+               "[--telemetry-sample N] [--detector NAME] "
                "[--shards N] [--alpha A] [--window S] [--no-pairs] "
                "[--calibrate N] [--on-full block|drop-newest] "
                "[--queue-capacity N] [--drain-batch N] [--max-line N] "
                "[--quiet]\n"
                "  canids send <capture> --addr ADDR [--key KEY] [--speed X] "
                "[--quiet]\n"
-               "  canids ctl <control-socket> STATUS|RELOAD [path]|SHUTDOWN\n"
+               "  canids ctl <control-socket> "
+               "STATUS|METRICS|RELOAD [path]|SHUTDOWN\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
                "[--seed N] [--attack KIND] [--freq HZ]\n"
                "  canids campaign [spec.json] [--smoke] [--out DIR] "
@@ -153,7 +159,13 @@ void print_usage(std::FILE* out) {
                "without disconnecting streams. `send` replays a capture to "
                "a daemon, paced by recorded timestamps at --speed x "
                "(0 = unpaced); `fleet --alerts-out` writes the same JSONL "
-               "schema, so live and batch runs diff directly.\n");
+               "schema, so live and batch runs diff directly. Telemetry: "
+               "`ctl ADDR METRICS` and `fleet --metrics-out` dump one "
+               "Prometheus text exposition; `serve --events-out` records "
+               "lifecycle events as JSONL; `--telemetry-sample N` times "
+               "every Nth hot-path batch into latency histograms "
+               "(0/absent = no timing; verdicts are byte-identical either "
+               "way).\n");
 }
 
 int usage() {
@@ -621,8 +633,18 @@ int cmd_fleet(const std::string& models_path,
   if (arg_flag(args, "--no-pairs")) options.pipeline.window.track_pairs = false;
   const bool quiet = arg_flag(args, "--quiet");
   const auto alerts_out = arg_string(args, "--alerts-out");
+  const auto metrics_out = arg_string(args, "--metrics-out");
+  if (const auto sample =
+          arg_integer(args, "--telemetry-sample", 0, 1 << 20)) {
+    config.telemetry_sample = static_cast<std::size_t>(*sample);
+  }
   reject_leftovers(args);
   config.pipeline = options.pipeline;
+  // A registry exists exactly when something will read it: sampling fills
+  // its histograms, --metrics-out dumps its exposition.
+  if (metrics_out || config.telemetry_sample > 0) {
+    config.metrics = std::make_shared<telemetry::MetricsRegistry>();
+  }
 
   // --alerts-out mirrors the serve daemon's sink: one serve::to_json_line
   // per alerting window, so a batch run and a live replay of the same
@@ -703,34 +725,51 @@ int cmd_fleet(const std::string& models_path,
   }
 
   util::Table table({"stream", "shard", "frames", "windows", "alerts",
-                     "parse errs", "dropped"});
+                     "parse errs", "dropped", "q-dropped"});
   for (const engine::StreamResult& stream : run.streams) {
     table.add_row({stream.key, std::to_string(stream.shard),
                    std::to_string(stream.counters.frames),
                    std::to_string(stream.counters.windows_closed),
                    std::to_string(stream.counters.alerts),
                    std::to_string(stream.counters.parse_errors),
-                   std::to_string(stream.counters.dropped_frames)});
+                   std::to_string(stream.counters.dropped_frames),
+                   std::to_string(stream.counters.queue_dropped)});
   }
   table.print(std::cout);
 
   const ids::PipelineCounters& totals = fleet.totals();
   std::printf(
-      "%zu streams on %d shards (detector=%s): %llu frames, %llu windows, "
-      "%llu alerts in %.2fs (%.0f frames/s)\n",
+      "%zu streams on %d shards (detector=%s, generation=%llu): %llu "
+      "frames, %llu windows, %llu alerts in %.2fs (%.0f frames/s)\n",
       run.streams.size(), fleet.shards(), detector_name.c_str(),
+      static_cast<unsigned long long>(fleet.model_generation()),
       static_cast<unsigned long long>(totals.frames),
       static_cast<unsigned long long>(totals.windows_closed),
       static_cast<unsigned long long>(totals.alerts), elapsed,
       elapsed > 0 ? static_cast<double>(totals.frames) / elapsed : 0.0);
-  if (totals.parse_errors > 0 || totals.dropped_frames > 0) {
-    std::printf("ingest: %llu malformed lines skipped, %llu frames dropped\n",
-                static_cast<unsigned long long>(totals.parse_errors),
-                static_cast<unsigned long long>(totals.dropped_frames));
+  if (totals.parse_errors > 0 || totals.dropped_frames > 0 ||
+      totals.queue_dropped > 0) {
+    std::printf(
+        "ingest: %llu malformed lines skipped, %llu frames dropped, %llu "
+        "queue-dropped\n",
+        static_cast<unsigned long long>(totals.parse_errors),
+        static_cast<unsigned long long>(totals.dropped_frames),
+        static_cast<unsigned long long>(totals.queue_dropped));
   }
   if (alerts_file) {
     alerts_file->flush();
     std::printf("alerts -> %s\n", alerts_out->c_str());
+  }
+  if (metrics_out) {
+    fleet.publish_metrics();
+    std::ofstream out(*metrics_out, std::ios::out | std::ios::trunc);
+    out << telemetry::to_prometheus_text(*config.metrics);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write exposition\n",
+                   metrics_out->c_str());
+      return 66;
+    }
+    if (!quiet) std::printf("metrics -> %s\n", metrics_out->c_str());
   }
   if (!run.errors.empty()) return 65;
   return totals.alerts > 0 ? 2 : 0;
@@ -820,9 +859,22 @@ int cmd_serve(const std::string& models_path, std::vector<std::string> args) {
   if (const auto max_line = arg_integer(args, "--max-line", 64, 1 << 20)) {
     serve_config.max_line = static_cast<std::size_t>(*max_line);
   }
+  const auto events_out = arg_string(args, "--events-out");
+  if (const auto sample =
+          arg_integer(args, "--telemetry-sample", 0, 1 << 20)) {
+    config.telemetry_sample = static_cast<std::size_t>(*sample);
+  }
   const bool quiet = arg_flag(args, "--quiet");
   reject_leftovers(args);
   config.pipeline = options.pipeline;
+  // The daemon always carries a registry — METRICS must answer whether or
+  // not latency sampling is on (counters/gauges fold at scrape time).
+  config.metrics = std::make_shared<telemetry::MetricsRegistry>();
+  std::shared_ptr<telemetry::EventLog> events;
+  if (events_out) {
+    events = std::make_shared<telemetry::EventLog>(*events_out);
+    config.events = events;
+  }
 
   if (serve_config.uds_path.empty() && serve_config.tcp_port < 0) {
     throw UsageError{
@@ -853,6 +905,9 @@ int cmd_serve(const std::string& models_path, std::vector<std::string> args) {
       std::printf("control socket unix:%s\n",
                   serve_config.control_path.c_str());
     }
+    if (events_out) {
+      std::printf("events -> %s\n", events_out->c_str());
+    }
     std::printf(
         "detector=%s shards=%d on-full=%s — SIGHUP reloads models, SIGUSR1 "
         "dumps status, SIGINT/SIGTERM shut down\n",
@@ -880,6 +935,7 @@ int cmd_serve(const std::string& models_path, std::vector<std::string> args) {
   // here still reach the sinks) and joins the workers.
   const std::vector<engine::StreamResult> streams = fleet.finish();
   server.flush_alerts();
+  if (events) events->flush();
 
   if (!quiet) {
     const ids::PipelineCounters& totals = fleet.totals();
@@ -945,7 +1001,8 @@ int cmd_send(const std::string& trace_path, std::vector<std::string> args) {
 int cmd_ctl(const std::string& addr, const std::vector<std::string>& words) {
   if (words.empty()) {
     throw UsageError{
-        "usage: canids ctl <control-socket> STATUS|RELOAD [path]|SHUTDOWN"};
+        "usage: canids ctl <control-socket> "
+        "STATUS|METRICS|RELOAD [path]|SHUTDOWN"};
   }
   std::string command;
   for (const std::string& word : words) {
@@ -953,6 +1010,10 @@ int cmd_ctl(const std::string& addr, const std::vector<std::string>& words) {
     command += word;
   }
   command.push_back('\n');
+  // Every command answers one line, except METRICS: a multi-line
+  // Prometheus exposition terminated by a "# EOF" marker line (the
+  // connection stays open, so the marker — not EOF — ends the reply).
+  const bool multiline = words.front() == "METRICS";
 
   const int fd = serve::connect_addr(addr);
   std::string reply;
@@ -969,13 +1030,20 @@ int cmd_ctl(const std::string& addr, const std::vector<std::string>& words) {
       if (sent < 0 && errno == EINTR) continue;
       throw std::runtime_error(std::string("send: ") + std::strerror(errno));
     }
-    // One reply line per command line.
     char buf[4096];
     for (;;) {
       const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
       if (got > 0) {
         reply.append(buf, static_cast<std::size_t>(got));
-        if (reply.find('\n') != std::string::npos) break;
+        if (multiline) {
+          if (reply.rfind("error", 0) == 0 &&
+              reply.find('\n') != std::string::npos) {
+            break;  // an old daemon rejecting the verb answers one line
+          }
+          if (reply.find("# EOF\n") != std::string::npos) break;
+        } else if (reply.find('\n') != std::string::npos) {
+          break;
+        }
         continue;
       }
       if (got < 0 && errno == EINTR) continue;
@@ -987,6 +1055,15 @@ int cmd_ctl(const std::string& addr, const std::vector<std::string>& words) {
     throw;
   }
   ::close(fd);
+  if (multiline && reply.rfind("error", 0) != 0) {
+    // Print the exposition as-is, without the protocol's EOF marker.
+    if (const std::size_t marker = reply.find("# EOF\n");
+        marker != std::string::npos) {
+      reply.resize(marker);
+    }
+    std::fputs(reply.c_str(), stdout);
+    return 0;
+  }
   if (const std::size_t newline = reply.find('\n');
       newline != std::string::npos) {
     reply.resize(newline);
