@@ -1,14 +1,21 @@
 // SERVE — the live service's overhead and latency, measured on real
 // sockets. Three numbers the daemon's design hinges on:
 //
-//   direct_frames_per_sec   frames pushed straight into FleetEngine::Stream
-//                           (the in-process ceiling)
-//   socket_frames_per_sec   the same frames as candump lines through a
-//                           Unix-domain socket + LineFramer + parser — the
-//                           full `canids send` -> `canids serve` data path
-//   fanout_latency_*_us     wall time from the window-closing frame hitting
-//                           the socket to the alert JSON line arriving on a
-//                           SUBSCRIBE connection
+//   direct_frames_per_sec          frames pushed straight into
+//                                  FleetEngine::Stream (the in-process
+//                                  ceiling)
+//   socket_frames_per_sec          the same frames as candump lines through
+//                                  a Unix-domain socket + LineFramer +
+//                                  parser — `canids send` -> `canids serve`
+//   socket_binary_frames_per_sec   the same frames as canidsBT 22-byte
+//                                  records after the BINARY upgrade —
+//                                  `canids send --wire binary`
+//   fanout_latency_*_us            wall time from the window-closing frame
+//                                  hitting the socket to the alert JSON
+//                                  line arriving on a SUBSCRIBE connection
+//
+// The SHAPE gate requires binary socket ingest to beat text socket ingest
+// by >= 3x — the point of the binary wire mode.
 //
 // Latency percentiles come from the shared telemetry::Histogram (the same
 // fixed ladder the serve daemon exports over METRICS), not an ad-hoc
@@ -40,6 +47,7 @@
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "telemetry/metrics.h"
+#include "trace/binary_trace.h"
 #include "trace/candump.h"
 #include "trace/log_record.h"
 #include "util/bench_json.h"
@@ -110,6 +118,18 @@ analysis::DetectorOptions detector_options(
   return options;
 }
 
+/// Throughput-run engine tuning, shared by the direct and both socket rows
+/// so every number measures the same engine: a deeper per-stream queue and
+/// bigger drain batches keep the shard worker off the wake/rotate path at
+/// tens of millions of frames per second (the `fleet --queue-capacity /
+/// --drain-batch` knobs an operator would turn for one firehose stream).
+engine::FleetConfig throughput_config() {
+  engine::FleetConfig config;
+  config.queue_capacity = 1u << 16;
+  config.drain_batch = 4096;
+  return config;
+}
+
 void send_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
     const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
@@ -137,7 +157,8 @@ void wait_drained(engine::FleetEngine& engine) {
 double run_direct(const std::vector<trace::LogRecord>& records,
                   const std::shared_ptr<const ids::GoldenTemplate>& golden) {
   engine::FleetEngine engine(
-      analysis::make_detector("bit-entropy", detector_options(golden)), {});
+      analysis::make_detector("bit-entropy", detector_options(golden)),
+      throughput_config());
   engine::FleetEngine::Stream stream = engine.open_stream("bench");
   engine.start();
   const auto begin = std::chrono::steady_clock::now();
@@ -154,9 +175,10 @@ double run_direct(const std::vector<trace::LogRecord>& records,
 
 double run_socket(const std::vector<trace::LogRecord>& records,
                   const std::shared_ptr<const ids::GoldenTemplate>& golden,
-                  const std::string& uds_path) {
+                  const std::string& uds_path, bool binary) {
   engine::FleetEngine engine(
-      analysis::make_detector("bit-entropy", detector_options(golden)), {});
+      analysis::make_detector("bit-entropy", detector_options(golden)),
+      throughput_config());
   serve::ServeConfig config;
   config.uds_path = uds_path;
   serve::ServeServer server(engine, config);
@@ -164,14 +186,30 @@ double run_socket(const std::vector<trace::LogRecord>& records,
   std::thread server_thread([&server] { server.run(); });
 
   // Render outside the timed region: the bench measures the wire + framer
-  // + parser + engine path, not snprintf.
+  // + parser/decoder + engine path, not snprintf/encode.
   std::string payload = "HELLO bench\n";
-  for (const trace::LogRecord& record : records) {
-    payload += trace::to_candump_line(record);
-    payload.push_back('\n');
+  if (binary) {
+    payload += "BINARY\n";
+    unsigned char record_bytes[trace::kBinaryRecordBytes];
+    for (const trace::LogRecord& record : records) {
+      trace::encode_binary_record(record.timestamp, record.frame, 0,
+                                  record_bytes);
+      payload.append(reinterpret_cast<const char*>(record_bytes),
+                     sizeof record_bytes);
+    }
+  } else {
+    for (const trace::LogRecord& record : records) {
+      payload += trace::to_candump_line(record);
+      payload.push_back('\n');
+    }
   }
 
   const int fd = serve::connect_addr(uds_path);
+  // A deep client send buffer keeps the single sender thread from
+  // ping-ponging with the server per ~200KB of kernel buffer — the bench
+  // measures the server's ingest path, not scheduler round-trips.
+  const int sndbuf = 4 * 1024 * 1024;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
   const auto begin = std::chrono::steady_clock::now();
   send_all(fd, payload.data(), payload.size());
   ::close(fd);
@@ -344,11 +382,27 @@ int main() {
 
   std::printf("== serve: socket ingest vs direct push (%zu frames) ==\n",
               records.size());
-  const double direct = run_direct(records, golden);
-  std::printf("  direct push   %12.0f frames/s\n", direct);
-  const double socket = run_socket(records, golden, uds_path);
-  std::printf("  socket ingest %12.0f frames/s (%.0f%% of direct)\n", socket,
-              100.0 * socket / direct);
+  // Best-of-3 per row: every stage of the pipeline shares the machine with
+  // the sender thread, so a single run is at the mercy of the scheduler —
+  // the max is the honest capability number.
+  constexpr int kRuns = 3;
+  double direct = 0.0;
+  double socket_text = 0.0;
+  double socket_binary = 0.0;
+  for (int r = 0; r < kRuns; ++r) {
+    direct = std::max(direct, run_direct(records, golden));
+    socket_text = std::max(
+        socket_text, run_socket(records, golden, uds_path, /*binary=*/false));
+    socket_binary = std::max(
+        socket_binary, run_socket(records, golden, uds_path, /*binary=*/true));
+  }
+  std::printf("  direct push    %12.0f frames/s\n", direct);
+  std::printf("  socket text    %12.0f frames/s (%.0f%% of direct)\n",
+              socket_text, 100.0 * socket_text / direct);
+  std::printf(
+      "  socket binary  %12.0f frames/s (%.0f%% of direct, %.1fx text)\n",
+      socket_binary, 100.0 * socket_binary / direct,
+      socket_binary / socket_text);
 
   std::printf("== serve: alert fan-out latency (%d windows) ==\n",
               kLatencyWindows);
@@ -363,13 +417,23 @@ int main() {
     std::printf("FAIL: fan-out run produced no alerts\n");
     ok = false;
   }
+  if (socket_binary < 3.0 * socket_text) {
+    std::printf(
+        "FAIL: binary socket ingest %.0f frames/s is under 3x text's %.0f "
+        "frames/s\n",
+        socket_binary, socket_text);
+    ok = false;
+  }
 
   util::write_bench_json(
       "serve",
       {{"frames", static_cast<double>(records.size())},
        {"direct_frames_per_sec", direct},
-       {"socket_frames_per_sec", socket},
-       {"socket_over_direct", socket / direct},
+       {"socket_frames_per_sec", socket_text},
+       {"socket_binary_frames_per_sec", socket_binary},
+       {"socket_over_direct", socket_text / direct},
+       {"socket_binary_over_direct", socket_binary / direct},
+       {"binary_over_text", socket_binary / socket_text},
        {"fanout_latency_mean_us", latency.mean_us},
        {"fanout_latency_p50_us", latency.p50_us},
        {"fanout_latency_p99_us", latency.p99_us},

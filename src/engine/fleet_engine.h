@@ -126,9 +126,9 @@ class FleetEngine {
     /// queue_dropped().
     void push(util::TimeNs timestamp, can::CanId id);
     /// Enqueue a batch with a single queue publish — the high-throughput
-    /// ingest path (run_fleet uses it). kBlock: yields until everything is
-    /// in. kDropNewest: pushes the prefix that fits, discards (and counts)
-    /// the rest.
+    /// ingest path (run_fleet batches per fill() block, serve per recv
+    /// chunk). kBlock: yields until everything is in. kDropNewest: pushes
+    /// the prefix that fits, discards (and counts) the rest.
     void push_batch(const FrameItem* items, std::size_t count);
     /// Record one malformed capture line skipped at ingest; surfaced in
     /// the stream's counters after finish().

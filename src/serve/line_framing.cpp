@@ -15,20 +15,28 @@ std::string_view strip_cr(std::string_view line) {
 
 void LineFramer::feed(const char* data, std::size_t size,
                       const LineFn& on_line) {
+  feed_some(data, size, [&on_line](std::string_view line) {
+    on_line(line);
+    return true;
+  });
+}
+
+std::size_t LineFramer::feed_some(const char* data, std::size_t size,
+                                  const GatedLineFn& on_line) {
   std::size_t pos = 0;
   while (pos < size) {
     const void* found = std::memchr(data + pos, '\n', size - pos);
     if (found == nullptr) {
       // No newline in the remainder: buffer it (or keep discarding).
-      if (discarding_) return;
+      if (discarding_) return size;
       if (buffer_.size() + (size - pos) > max_line_) {
         ++oversized_;
         discarding_ = true;
         buffer_.clear();
-        return;
+        return size;
       }
       buffer_.append(data + pos, size - pos);
-      return;
+      return size;
     }
     const std::size_t nl =
         static_cast<std::size_t>(static_cast<const char*>(found) - data);
@@ -38,25 +46,28 @@ void LineFramer::feed(const char* data, std::size_t size,
       pos = nl + 1;
       continue;
     }
+    bool keep_framing = true;
     if (buffer_.empty()) {
       // Fast path: the whole line lives inside this chunk — deliver a view
       // into it, no copy.
       if (nl - pos > max_line_) {
         ++oversized_;
       } else {
-        on_line(strip_cr(std::string_view(data + pos, nl - pos)));
+        keep_framing = on_line(strip_cr(std::string_view(data + pos, nl - pos)));
       }
     } else {
       if (buffer_.size() + (nl - pos) > max_line_) {
         ++oversized_;
       } else {
         buffer_.append(data + pos, nl - pos);
-        on_line(strip_cr(buffer_));
+        keep_framing = on_line(strip_cr(buffer_));
       }
       buffer_.clear();
     }
     pos = nl + 1;
+    if (!keep_framing) return pos;
   }
+  return size;
 }
 
 void LineFramer::finish(const LineFn& on_line) {

@@ -23,6 +23,11 @@ class LineFramer {
   /// only valid for the duration of the call.
   using LineFn = std::function<void(std::string_view)>;
 
+  /// feed_some's callback: return false to stop framing after this line
+  /// (a protocol upgrade such as the serve BINARY switch — the rest of the
+  /// chunk belongs to another framer).
+  using GatedLineFn = std::function<bool(std::string_view)>;
+
   /// Longest accepted line, in bytes (excluding the newline). A candump
   /// line tops out well under 100 bytes; the default leaves room for
   /// future framing without letting one client grow an unbounded buffer.
@@ -36,6 +41,13 @@ class LineFramer {
   /// feed. Lines longer than max_line are discarded — counted in
   /// oversized() — and framing resumes after their terminating newline.
   void feed(const char* data, std::size_t size, const LineFn& on_line);
+
+  /// Like feed, but the callback can stop framing: when `on_line` returns
+  /// false, no further bytes are consumed and feed_some returns the number
+  /// of bytes processed (the stopping line's newline included) — the caller
+  /// owns the remainder. Returns `size` when the whole chunk was framed.
+  std::size_t feed_some(const char* data, std::size_t size,
+                        const GatedLineFn& on_line);
 
   /// Connection end-of-stream: deliver a final unterminated line, if any
   /// (candump writers always end with a newline, but a killed client may

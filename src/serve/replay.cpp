@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/binary_trace.h"
 #include "trace/candump.h"
 #include "trace/trace_io.h"
 
@@ -99,6 +100,10 @@ int connect_addr(const std::string& addr) {
 SendStats send_trace(const std::string& addr,
                      const std::filesystem::path& trace,
                      const SendOptions& options) {
+  const bool binary_wire =
+      options.wire == SendWire::kBinary ||
+      (options.wire == SendWire::kAuto &&
+       trace::detect_format_file(trace) == trace::TraceFormat::kBinary);
   std::unique_ptr<trace::RecordSource> source =
       trace::open_trace_source(trace);
   const int fd = connect_addr(addr);
@@ -109,6 +114,10 @@ SendStats send_trace(const std::string& addr,
     if (!options.key.empty()) {
       chunk = "HELLO " + options.key + "\n";
     }
+    // Upgrade the connection before any frame bytes: everything after
+    // this line is a canidsBT record stream — for a canidsBT capture
+    // that's record-for-record, no text round-trip anywhere.
+    if (binary_wire) chunk += "BINARY\n";
 
     const bool paced = options.speed > 0.0;
     const auto wall_start = std::chrono::steady_clock::now();
@@ -144,8 +153,17 @@ SendStats send_trace(const std::string& addr,
         }
         std::this_thread::sleep_until(target);
       }
-      chunk += trace::to_candump_line(*record);
-      chunk.push_back('\n');
+      if (binary_wire) {
+        unsigned char record_bytes[trace::kBinaryRecordBytes];
+        // The wire has no channel table; the server ignores the byte.
+        trace::encode_binary_record(record->timestamp, record->frame,
+                                    /*channel_index=*/0, record_bytes);
+        chunk.append(reinterpret_cast<const char*>(record_bytes),
+                     sizeof record_bytes);
+      } else {
+        chunk += trace::to_candump_line(*record);
+        chunk.push_back('\n');
+      }
       ++stats.frames;
       if (chunk.size() >= 64 * 1024) {
         send_all(fd, chunk.data(), chunk.size());

@@ -1,6 +1,7 @@
 // The daemon's replay client: `canids send` connects to a running
 // `canids serve`, announces a stream key, and writes a recorded capture as
-// candump lines — optionally paced by the capture's own timestamps, so CI,
+// candump lines or (--wire binary/auto) as the canidsBT binary record
+// stream — optionally paced by the capture's own timestamps, so CI,
 // benches, and demos can drive the live service with reproducible
 // traffic. Also usable in-process (tests, bench_serve) against any
 // SOCK_STREAM address.
@@ -12,6 +13,13 @@
 
 namespace canids::serve {
 
+/// Which data-plane wire encoding `send_trace` speaks.
+enum class SendWire : std::uint8_t {
+  kText,    ///< candump lines (the default, works against any server)
+  kBinary,  ///< BINARY negotiation + canidsBT 22-byte records
+  kAuto,    ///< binary when the capture itself is canidsBT, else text
+};
+
 struct SendOptions {
   /// Stream key sent as a HELLO line; empty = no HELLO (the server keys
   /// the stream by connection id).
@@ -20,6 +28,10 @@ struct SendOptions {
   /// otherwise frames are paced at `speed` times recorded real time
   /// (1.0 = realtime, 20.0 = 20x fast-forward).
   double speed = 0.0;
+  /// Wire encoding. kBinary/kAuto-on-canidsBT streams records with no
+  /// text round-trip: 22 bytes per frame instead of a rendered candump
+  /// line, decoded server-side straight from the recv buffer.
+  SendWire wire = SendWire::kText;
 };
 
 struct SendStats {

@@ -15,14 +15,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include <array>
+
 #include "model/store.h"
 #include "serve/alert_json.h"
+#include "serve/wire_framing.h"
 #include "telemetry/exposition.h"
 #include "trace/candump.h"
 
 namespace canids::serve {
 
 namespace {
+
+/// Alert bytes a subscriber may have queued before further lines are
+/// dropped (counted) — bounds memory per slow subscriber.
+constexpr std::size_t kMaxSubscriberBacklog = 1u << 20;
+/// iovec fan-in per sendmsg call when draining a subscriber queue.
+constexpr std::size_t kMaxAlertIov = 64;
 
 std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -124,9 +133,15 @@ struct ServeServer::Connection {
   bool control = false;
   bool subscriber = false;
   std::string key;  ///< from HELLO; empty = generated at stream open
+  bool binary = false;  ///< wire mode: flipped by the BINARY line
   LineFramer framer;
+  BinaryFramer bframer;
+  /// Frames parsed from the current recv chunk, landed with one
+  /// push_batch per chunk.
+  std::vector<engine::FleetEngine::FrameItem> scratch;
   std::optional<engine::FleetEngine::Stream> stream;
   std::uint64_t oversized_seen = 0;
+  std::uint64_t wire_faults_seen = 0;
   /// Last values the event log saw (note_stream_events deltas).
   std::uint64_t parse_errors_seen = 0;
   std::uint64_t queue_dropped_seen = 0;
@@ -161,6 +176,17 @@ ServeServer::ServeServer(engine::FleetEngine& engine, ServeConfig config)
   subscriber_dropped_total_ = &registry_->counter(
       "canids_serve_subscriber_dropped_total",
       "Alert lines a slow or gone subscriber did not receive.");
+  ingest_bytes_total_ = &registry_->counter(
+      "canids_ingest_bytes_total",
+      "Bytes received on data connections (text and binary wire).");
+  wire_records_text_ = &registry_->counter(
+      "canids_wire_records_total",
+      "Frames accepted from the wire, by connection wire mode.",
+      {{"mode", "text"}});
+  wire_records_binary_ = &registry_->counter(
+      "canids_wire_records_total",
+      "Frames accepted from the wire, by connection wire mode.",
+      {{"mode", "binary"}});
   uptime_gauge_ = &registry_->gauge("canids_serve_uptime_ns",
                                     "Nanoseconds since run() started.");
   if (telemetry_sample_ > 0) {
@@ -272,25 +298,87 @@ void ServeServer::publish_alert(const engine::FleetAlert& alert) {
   {
     const std::lock_guard<std::mutex> lock(alert_mutex_);
     if (alerts_out_) alerts_out_->write(line.data(), line.size());
-    for (const int fd : subscribers_) {
-      // Best-effort fan-out: a subscriber that cannot take the whole line
-      // right now loses it (counted), rather than stalling the shard
-      // worker publishing the alert.
-      const ssize_t sent =
-          ::send(fd, line.data(), line.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
-      if (sent != static_cast<ssize_t>(line.size())) {
+    for (SubscriberState& sub : subscribers_) {
+      // Best-effort fan-out: a subscriber more than a backlog behind loses
+      // the line (counted), rather than growing an unbounded queue or
+      // stalling the shard worker publishing the alert.
+      if (sub.pending_bytes + line.size() > kMaxSubscriberBacklog) {
         subscriber_dropped_total_->add();
+        continue;
       }
+      sub.pending.push_back(line);
+      sub.pending_bytes += line.size();
+      flush_subscriber(sub);
     }
   }
   alerts_total_->add();
 }
 
+void ServeServer::flush_subscriber(SubscriberState& sub) {
+  while (!sub.pending.empty()) {
+    // Coalesce queued lines into one vectored send — one syscall flushes
+    // a burst of alerts instead of one send per line.
+    std::array<iovec, kMaxAlertIov> iov;
+    std::size_t count = 0;
+    std::size_t offset = sub.front_offset;
+    for (const std::string& queued : sub.pending) {
+      if (count == iov.size()) break;
+      iov[count].iov_base = const_cast<char*>(queued.data()) + offset;
+      iov[count].iov_len = queued.size() - offset;
+      offset = 0;
+      ++count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = count;
+    const ssize_t sent = ::sendmsg(sub.fd, &msg, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      // EAGAIN: retried when poll reports the fd writable. A dead peer is
+      // reaped by the run loop (recv reports the hang-up).
+      return;
+    }
+    sub.pending_bytes -= static_cast<std::size_t>(sent);
+    std::size_t advanced = static_cast<std::size_t>(sent);
+    while (advanced > 0) {
+      const std::size_t remain =
+          sub.pending.front().size() - sub.front_offset;
+      if (advanced < remain) {
+        sub.front_offset += advanced;
+        break;
+      }
+      advanced -= remain;
+      sub.pending.pop_front();
+      sub.front_offset = 0;
+    }
+  }
+}
+
+bool ServeServer::subscriber_pending(int fd) const {
+  const std::lock_guard<std::mutex> lock(alert_mutex_);
+  for (const SubscriberState& sub : subscribers_) {
+    if (sub.fd == fd) return sub.pending_bytes > 0;
+  }
+  return false;
+}
+
+void ServeServer::flush_subscriber_fd(int fd) {
+  const std::lock_guard<std::mutex> lock(alert_mutex_);
+  for (SubscriberState& sub : subscribers_) {
+    if (sub.fd == fd) {
+      flush_subscriber(sub);
+      return;
+    }
+  }
+}
+
 void ServeServer::drop_subscriber(int fd) {
   const std::lock_guard<std::mutex> lock(alert_mutex_);
   for (std::size_t i = 0; i < subscribers_.size(); ++i) {
-    if (subscribers_[i] == fd) {
-      subscribers_[i] = subscribers_.back();
+    if (subscribers_[i].fd == fd) {
+      if (i + 1 < subscribers_.size()) {
+        subscribers_[i] = std::move(subscribers_.back());
+      }
       subscribers_.pop_back();
       return;
     }
@@ -302,10 +390,25 @@ void ServeServer::open_stream_for(Connection& conn) {
   if (key.empty()) key = "conn-" + std::to_string(conn.id);
   conn.stream = engine_.open_stream(std::move(key));
   streams_opened_total_->add();
+  note_wire_mode(conn);
+}
+
+void ServeServer::note_wire_mode(Connection& conn) {
+  if (!conn.stream) return;
+  const std::lock_guard<std::mutex> lock(wire_mutex_);
+  stream_wires_[conn.stream->key()] = conn.binary ? "binary" : "text";
 }
 
 void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
   if (conn.subscriber) return;  // subscribers only listen
+  if (line == "BINARY") {
+    // Protocol upgrade: every byte after this line's newline is a canidsBT
+    // record stream. The caller stops line framing and routes the rest of
+    // the chunk (and every later chunk) through the binary framer.
+    conn.binary = true;
+    note_wire_mode(conn);
+    return;
+  }
   if (!conn.stream) {
     if (line.rfind("HELLO ", 0) == 0) {
       std::string_view key = line.substr(6);
@@ -317,7 +420,9 @@ void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
     if (line == "SUBSCRIBE") {
       conn.subscriber = true;
       const std::lock_guard<std::mutex> lock(alert_mutex_);
-      subscribers_.push_back(conn.fd);
+      SubscriberState sub;
+      sub.fd = conn.fd;
+      subscribers_.push_back(std::move(sub));
       return;
     }
   }
@@ -341,8 +446,8 @@ void ServeServer::handle_data_line(Connection& conn, std::string_view line) {
     conn.stream->record_parse_error();
     return;
   }
-  if (!conn.stream) open_stream_for(conn);
-  conn.stream->push(record.timestamp, record.frame.id());
+  conn.scratch.push_back(
+      engine::FleetEngine::FrameItem{record.timestamp, record.frame.id()});
 }
 
 std::string ServeServer::do_reload(const std::string& path) {
@@ -425,6 +530,13 @@ std::string ServeServer::status_json() const {
     first = false;
     out += "{\"key\": ";
     append_json_string(out, row.key);
+    out += ", \"wire\": \"";
+    {
+      const std::lock_guard<std::mutex> lock(wire_mutex_);
+      const auto it = stream_wires_.find(row.key);
+      out += it == stream_wires_.end() ? "text" : it->second;
+    }
+    out += "\"";
     out += ", \"shard\": " + std::to_string(row.shard);
     out += ", \"queue_depth\": " + std::to_string(row.queue_depth);
     out += ", \"closed\": ";
@@ -476,6 +588,64 @@ void ServeServer::note_stream_events(Connection& conn) {
   }
 }
 
+void ServeServer::flush_scratch(Connection& conn, bool binary) {
+  if (conn.scratch.empty()) return;
+  if (!conn.stream) open_stream_for(conn);
+  conn.stream->push_batch(conn.scratch.data(), conn.scratch.size());
+  (binary ? wire_records_binary_ : wire_records_text_)
+      ->add(conn.scratch.size());
+  conn.scratch.clear();
+}
+
+void ServeServer::note_wire_faults(Connection& conn) {
+  const std::uint64_t faults = conn.bframer.faults();
+  if (faults == conn.wire_faults_seen) return;
+  // Invalid binary records are the wire equivalent of malformed candump
+  // lines: counted against the stream, connection lives (fixed-size
+  // framing resumes at the next record boundary).
+  if (!conn.stream) open_stream_for(conn);
+  for (std::uint64_t i = conn.wire_faults_seen; i < faults; ++i) {
+    conn.stream->record_parse_error();
+  }
+  conn.wire_faults_seen = faults;
+}
+
+void ServeServer::handle_data_chunk(Connection& conn, const char* data,
+                                    std::size_t size) {
+  ingest_bytes_total_->add(size);
+  std::size_t pos = 0;
+  if (!conn.binary) {
+    pos = conn.framer.feed_some(data, size, [&](std::string_view line) {
+      handle_data_line(conn, line);
+      // A BINARY line stops the framer: the rest of the chunk is records.
+      return !conn.binary;
+    });
+    if (conn.binary) {
+      // Frames parsed as text before the switch land under the text
+      // counter before the binary remainder is framed.
+      flush_scratch(conn, /*binary=*/false);
+    }
+    const std::uint64_t oversized = conn.framer.oversized();
+    if (oversized != conn.oversized_seen && !conn.subscriber) {
+      if (!conn.stream) open_stream_for(conn);
+      for (std::uint64_t i = conn.oversized_seen; i < oversized; ++i) {
+        conn.stream->record_parse_error();
+      }
+      conn.oversized_seen = oversized;
+    }
+  }
+  if (conn.binary && pos < size) {
+    conn.bframer.feed(data + pos, size - pos, conn.scratch);
+    note_wire_faults(conn);
+  }
+  // One engine hand-off per recv chunk: the whole chunk's frames land with
+  // a single push_batch (counted drop/block semantics live in push_batch).
+  flush_scratch(conn, conn.binary);
+  // One event per recv chunk at most — bursts coalesce into one line with
+  // a delta, not an event per frame.
+  note_stream_events(conn);
+}
+
 void ServeServer::read_connection(Connection& conn) {
   char buffer[65536];
   // Bounded reads per poll round so one firehose client cannot starve the
@@ -489,21 +659,7 @@ void ServeServer::read_connection(Connection& conn) {
                            handle_control_line(conn, line);
                          });
       } else {
-        conn.framer.feed(buffer, static_cast<std::size_t>(got),
-                         [&](std::string_view line) {
-                           handle_data_line(conn, line);
-                         });
-        const std::uint64_t oversized = conn.framer.oversized();
-        if (oversized != conn.oversized_seen && !conn.subscriber) {
-          if (!conn.stream) open_stream_for(conn);
-          for (std::uint64_t i = conn.oversized_seen; i < oversized; ++i) {
-            conn.stream->record_parse_error();
-          }
-          conn.oversized_seen = oversized;
-        }
-        // One event per recv chunk at most — bursts coalesce into one
-        // line with a delta, not an event per frame.
-        note_stream_events(conn);
+        handle_data_chunk(conn, buffer, static_cast<std::size_t>(got));
       }
       if (got < static_cast<ssize_t>(sizeof buffer)) return;
       continue;
@@ -525,10 +681,18 @@ void ServeServer::close_connection(Connection& conn) {
     conn.framer.finish(
         [&](std::string_view line) { handle_control_line(conn, line); });
   } else {
-    // Deliver a final unterminated line, then close the stream — the shard
-    // worker flushes its last (possibly partial) window.
-    conn.framer.finish(
-        [&](std::string_view line) { handle_data_line(conn, line); });
+    if (conn.binary) {
+      // A buffered partial record means the client died mid-record:
+      // counted as a parse error, like an unterminated garbage line.
+      conn.bframer.finish();
+      note_wire_faults(conn);
+    } else {
+      // Deliver a final unterminated line, then close the stream — the
+      // shard worker flushes its last (possibly partial) window.
+      conn.framer.finish(
+          [&](std::string_view line) { handle_data_line(conn, line); });
+      flush_scratch(conn, /*binary=*/false);
+    }
     if (conn.stream) {
       conn.stream->close();
       note_stream_events(conn);
@@ -563,7 +727,13 @@ void ServeServer::run() {
     const std::size_t conns_begin = fds.size();
     for (std::unique_ptr<Connection>& conn : connections_) {
       if (conn->fd < 0) continue;
-      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+      short events = POLLIN;
+      // A subscriber with a backed-up alert queue also waits for
+      // writability so the queue drains as soon as the peer catches up.
+      if (conn->subscriber && subscriber_pending(conn->fd)) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{conn->fd, events, 0});
       fd_conns.push_back(conn.get());
     }
 
@@ -610,8 +780,12 @@ void ServeServer::run() {
 
     // Connections with input (or hang-ups — recv() reports those as EOF).
     for (std::size_t i = conns_begin; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       Connection& conn = *fd_conns[i - conns_begin];
+      if (conn.fd >= 0 && (fds[i].revents & POLLOUT) != 0 &&
+          conn.subscriber) {
+        flush_subscriber_fd(conn.fd);
+      }
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       if (conn.fd >= 0) read_connection(conn);
     }
 

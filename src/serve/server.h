@@ -13,10 +13,16 @@
 // Data protocol (newline-framed text, one stream per connection):
 //   HELLO <key>      optional first line: name this stream
 //   SUBSCRIBE        turn this connection into an alert subscriber
+//   BINARY           switch this connection to the binary wire mode: every
+//                    byte after the newline is a stream of canidsBT
+//                    22-byte records (see serve/wire_framing.h)
 //   <candump line>   e.g. "(1.234567) can0 123#DEADBEEF" — one frame
-// Malformed lines are counted against the stream (parse_errors) and the
-// connection keeps going — same contract as file ingest. Closing the
-// connection closes the stream; its final partial window is still judged.
+// Malformed lines (and invalid binary records) are counted against the
+// stream (parse_errors) and the connection keeps going — same contract as
+// file ingest. Closing the connection closes the stream; its final partial
+// window is still judged. Both modes batch ingest per recv chunk: parsed
+// frames accumulate in a per-connection scratch vector and land in the
+// engine with one push_batch call per chunk.
 //
 // Control protocol (one reply line per command line; METRICS is the one
 // multi-line reply, terminated by a "# EOF" line):
@@ -35,11 +41,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/fleet_engine.h"
@@ -126,17 +134,44 @@ class ServeServer {
  private:
   struct Connection;
 
+  /// One alert subscriber: queued-but-unsent alert lines are coalesced
+  /// into vectored sendmsg calls, the front line possibly mid-send.
+  struct SubscriberState {
+    int fd = -1;
+    std::deque<std::string> pending;
+    std::size_t front_offset = 0;  ///< bytes of pending.front() already sent
+    std::size_t pending_bytes = 0;
+  };
+
   void setup_listeners();
   void teardown();
   [[nodiscard]] int accept_on(int listener_fd);
   void handle_data_line(Connection& conn, std::string_view line);
   void handle_control_line(Connection& conn, std::string_view line);
+  /// One recv chunk on a data connection: frame (text or binary), batch
+  /// into the connection scratch, land with one push_batch.
+  void handle_data_chunk(Connection& conn, const char* data,
+                         std::size_t size);
+  /// push_batch the connection scratch into its stream (opened on demand)
+  /// and count the records under the given wire mode.
+  void flush_scratch(Connection& conn, bool binary);
+  /// Record binary-framer faults that appeared since the last chunk as
+  /// per-stream parse errors.
+  void note_wire_faults(Connection& conn);
+  /// Publish/refresh the connection's wire mode for STATUS.
+  void note_wire_mode(Connection& conn);
   void read_connection(Connection& conn);
   void close_connection(Connection& conn);
   void open_stream_for(Connection& conn);
   std::string do_reload(const std::string& path);
   void publish_alert(const engine::FleetAlert& alert);
   void drop_subscriber(int fd);
+  /// Drain a subscriber's pending queue with vectored sendmsg; stops at
+  /// EAGAIN (retried on POLLOUT). Caller holds alert_mutex_.
+  void flush_subscriber(SubscriberState& sub);
+  /// True when the subscriber has queued alert bytes (poll for POLLOUT).
+  [[nodiscard]] bool subscriber_pending(int fd) const;
+  void flush_subscriber_fd(int fd);
   /// Emit queue_drop / parse_error_burst events for counters that moved
   /// since this connection's last recv chunk (coalesces bursts).
   void note_stream_events(Connection& conn);
@@ -157,8 +192,13 @@ class ServeServer {
   /// from shard worker threads (the AlertSink handler) while run() edits
   /// the subscriber list.
   mutable std::mutex alert_mutex_;
-  std::vector<int> subscribers_;
+  std::vector<SubscriberState> subscribers_;
   std::optional<std::ofstream> alerts_out_;
+
+  /// Stream key -> wire mode ("text"/"binary") for STATUS. Separate from
+  /// connections_ (run()-thread-only) because status_json is thread-safe.
+  mutable std::mutex wire_mutex_;
+  std::unordered_map<std::string, const char*> stream_wires_;
 
   /// Service-level instruments. The registry is the engine's when it has
   /// one (so METRICS exposes engine + serve families together), else a
@@ -171,6 +211,9 @@ class ServeServer {
   telemetry::Counter* alerts_total_ = nullptr;
   telemetry::Counter* reloads_total_ = nullptr;
   telemetry::Counter* subscriber_dropped_total_ = nullptr;
+  telemetry::Counter* ingest_bytes_total_ = nullptr;
+  telemetry::Counter* wire_records_text_ = nullptr;
+  telemetry::Counter* wire_records_binary_ = nullptr;
   telemetry::Gauge* uptime_gauge_ = nullptr;
   /// Candump parse-time histogram, sampled every Nth data line when the
   /// engine's telemetry_sample knob is on; null = no timing at all.

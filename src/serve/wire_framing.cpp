@@ -1,0 +1,57 @@
+#include "serve/wire_framing.h"
+
+#include <cstring>
+
+namespace canids::serve {
+
+std::size_t BinaryFramer::feed(const char* data, std::size_t size,
+                               std::vector<can::TimedId>& out) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  std::size_t appended = 0;
+  out.reserve(out.size() + size / trace::kBinaryRecordBytes + 1);
+  const auto decode_one = [&](const unsigned char* record) {
+    can::TimedId item;
+    if (trace::decode_binary_record_id(record, item) ==
+        trace::RecordFault::kNone) {
+      out.push_back(item);
+      ++appended;
+    } else {
+      ++faults_;
+    }
+  };
+
+  // Complete a carried partial record first.
+  if (partial_len_ > 0) {
+    const std::size_t need = trace::kBinaryRecordBytes - partial_len_;
+    const std::size_t take = size < need ? size : need;
+    std::memcpy(partial_ + partial_len_, bytes, take);
+    partial_len_ += take;
+    bytes += take;
+    size -= take;
+    if (partial_len_ < trace::kBinaryRecordBytes) return appended;
+    decode_one(partial_);
+    partial_len_ = 0;
+  }
+
+  // Whole records straight out of the recv buffer — no copy.
+  const std::size_t whole = size / trace::kBinaryRecordBytes;
+  for (std::size_t i = 0; i < whole; ++i) {
+    decode_one(bytes + i * trace::kBinaryRecordBytes);
+  }
+
+  // Buffer the trailing fragment for the next feed.
+  const std::size_t rest = size - whole * trace::kBinaryRecordBytes;
+  if (rest > 0) {
+    std::memcpy(partial_, bytes + whole * trace::kBinaryRecordBytes, rest);
+    partial_len_ = rest;
+  }
+  return appended;
+}
+
+void BinaryFramer::finish() {
+  if (partial_len_ == 0) return;
+  ++faults_;
+  partial_len_ = 0;
+}
+
+}  // namespace canids::serve

@@ -17,36 +17,107 @@ namespace canids::trace {
 
 namespace {
 
-constexpr std::uint32_t kExtendedBit = 1u << 29;
-constexpr std::uint32_t kRemoteBit = 1u << 30;
-constexpr std::uint32_t kReservedBit = 1u << 31;
+/// Shared field extraction for the full decoder. Validation order matters
+/// for the file loader's error messages: reserved bit, id range, dlc,
+/// padding.
+struct RecordFields {
+  std::uint64_t ts_bits;
+  std::uint32_t raw;
+  bool extended;
+  bool remote;
+  std::uint8_t dlc;
+};
 
-void encode_record(const LogRecord& record, std::uint8_t channel_index,
-                   unsigned char* out) {
-  const auto ts = static_cast<std::uint64_t>(record.timestamp);
+[[nodiscard]] RecordFault parse_fields(const unsigned char* record,
+                                       RecordFields& f) {
+  f.ts_bits = 0;
+  for (int b = 0; b < 8; ++b) {
+    f.ts_bits |= static_cast<std::uint64_t>(record[b]) << (8 * b);
+  }
+  std::uint32_t id_word = 0;
+  for (int b = 0; b < 4; ++b) {
+    id_word |= static_cast<std::uint32_t>(record[8 + b]) << (8 * b);
+  }
+  if ((id_word & kBinaryReservedBit) != 0) return RecordFault::kReservedBit;
+  f.extended = (id_word & kBinaryExtendedBit) != 0;
+  f.remote = (id_word & kBinaryRemoteBit) != 0;
+  f.raw = id_word & can::kMaxExtId;
+  if (!f.extended && f.raw > can::kMaxStdId) return RecordFault::kStandardId;
+  f.dlc = record[13];
+  if (f.dlc > can::kMaxDataBytes) return RecordFault::kDlc;
+  // Canonical-encoding check: payload bytes past dlc (all of them for
+  // remote frames) must be zero, otherwise the record did not come from
+  // encode_binary_record and a round trip would silently drop bits.
+  const std::size_t data_bytes = f.remote ? 0 : f.dlc;
+  for (std::size_t b = data_bytes; b < can::kMaxDataBytes; ++b) {
+    if (record[14 + b] != 0) return RecordFault::kPadding;
+  }
+  return RecordFault::kNone;
+}
+
+}  // namespace
+
+const char* record_fault_message(RecordFault fault) noexcept {
+  switch (fault) {
+    case RecordFault::kNone:
+      return "ok";
+    case RecordFault::kReservedBit:
+      return "reserved id bit set";
+    case RecordFault::kStandardId:
+      return "standard identifier out of range";
+    case RecordFault::kDlc:
+      return "dlc out of range";
+    case RecordFault::kPadding:
+      return "nonzero payload padding";
+  }
+  return "unknown record fault";
+}
+
+void encode_binary_record(util::TimeNs timestamp, const can::Frame& frame,
+                          std::uint8_t channel_index, unsigned char* out) {
+  const auto ts = static_cast<std::uint64_t>(timestamp);
   for (int b = 0; b < 8; ++b) {
     out[b] = static_cast<unsigned char>((ts >> (8 * b)) & 0xFF);
   }
-  const can::CanId id = record.frame.id();
+  const can::CanId id = frame.id();
   std::uint32_t id_word = id.raw();
-  if (id.is_extended()) id_word |= kExtendedBit;
-  if (record.frame.is_remote()) id_word |= kRemoteBit;
+  if (id.is_extended()) id_word |= kBinaryExtendedBit;
+  if (frame.is_remote()) id_word |= kBinaryRemoteBit;
   for (int b = 0; b < 4; ++b) {
     out[8 + b] = static_cast<unsigned char>((id_word >> (8 * b)) & 0xFF);
   }
   out[12] = channel_index;
-  out[13] = record.frame.dlc();
+  out[13] = frame.dlc();
   // Frame guarantees payload bytes past dlc are zero (and remote frames
   // carry none), so the record stays canonical without explicit zeroing
   // beyond the initial fill.
   for (std::size_t b = 14; b < kBinaryRecordBytes; ++b) out[b] = 0;
-  const auto payload = record.frame.payload();
+  const auto payload = frame.payload();
   for (std::size_t b = 0; b < payload.size(); ++b) {
     out[14 + b] = payload[b];
   }
 }
 
-}  // namespace
+RecordFault decode_binary_record(const unsigned char* record,
+                                 can::TimedFrame& out,
+                                 std::uint8_t& channel_index) {
+  RecordFields f{};
+  const RecordFault fault = parse_fields(record, f);
+  if (fault != RecordFault::kNone) return fault;
+  channel_index = record[12];
+  const can::CanId id = f.extended ? can::CanId::extended(f.raw)
+                                   : can::CanId::standard(f.raw);
+  out.timestamp = static_cast<util::TimeNs>(f.ts_bits);
+  out.frame = f.remote
+                  ? can::Frame::remote_frame(id, f.dlc)
+                  : can::Frame::data_frame(
+                        id, std::span<const std::uint8_t>(
+                                reinterpret_cast<const std::uint8_t*>(
+                                    record + 14),
+                                f.dlc));
+  return RecordFault::kNone;
+}
+
 
 bool is_binary_trace(std::istream& in) {
   const std::streampos start = in.tellg();
@@ -83,8 +154,9 @@ void write_binary_trace(std::ostream& out, const Trace& trace) {
 
   std::array<unsigned char, kBinaryRecordBytes> record_bytes{};
   for (const LogRecord& record : trace) {
-    encode_record(record, channel_index.at(record.channel),
-                  record_bytes.data());
+    encode_binary_record(record.timestamp, record.frame,
+                         channel_index.at(record.channel),
+                         record_bytes.data());
     out.write(reinterpret_cast<const char*>(record_bytes.data()),
               static_cast<std::streamsize>(record_bytes.size()));
   }
@@ -161,50 +233,17 @@ std::size_t BinaryTraceSource::read_records(std::size_t want) {
 can::TimedFrame BinaryTraceSource::decode(const unsigned char* record,
                                           std::uint64_t index,
                                           std::uint8_t& channel_index) const {
-  std::uint64_t ts_bits = 0;
-  for (int b = 0; b < 8; ++b) {
-    ts_bits |= static_cast<std::uint64_t>(record[b]) << (8 * b);
-  }
-  std::uint32_t id_word = 0;
-  for (int b = 0; b < 4; ++b) {
-    id_word |= static_cast<std::uint32_t>(record[8 + b]) << (8 * b);
-  }
   // Error strings are built only on the cold corruption paths — this
   // decoder runs per record on the ingest fast path.
   const auto corrupt_at = [&](const char* what) {
     corrupt(what + (" in record " + std::to_string(index)));
   };
-  if ((id_word & kReservedBit) != 0) corrupt_at("reserved id bit set");
-  const bool extended = (id_word & kExtendedBit) != 0;
-  const bool remote = (id_word & kRemoteBit) != 0;
-  const std::uint32_t raw = id_word & can::kMaxExtId;
-  if (!extended && raw > can::kMaxStdId) {
-    corrupt_at("standard identifier out of range");
-  }
-  channel_index = record[12];
+  can::TimedFrame frame;
+  const RecordFault fault = decode_binary_record(record, frame, channel_index);
+  if (fault != RecordFault::kNone) corrupt_at(record_fault_message(fault));
   if (channel_index >= channels_.size()) {
     corrupt_at("channel index out of range");
   }
-  const std::uint8_t dlc = record[13];
-  if (dlc > can::kMaxDataBytes) corrupt_at("dlc out of range");
-  // Canonical-encoding check: payload bytes past dlc (all of them for
-  // remote frames) must be zero, otherwise the file did not come from
-  // write_binary_trace and a round trip would silently drop bits.
-  const std::size_t data_bytes = remote ? 0 : dlc;
-  for (std::size_t b = data_bytes; b < can::kMaxDataBytes; ++b) {
-    if (record[14 + b] != 0) corrupt_at("nonzero payload padding");
-  }
-  const can::CanId id =
-      extended ? can::CanId::extended(raw) : can::CanId::standard(raw);
-  can::TimedFrame frame;
-  frame.timestamp = static_cast<util::TimeNs>(ts_bits);
-  frame.frame = remote
-                    ? can::Frame::remote_frame(id, dlc)
-                    : can::Frame::data_frame(
-                          id, std::span<const std::uint8_t>(
-                                  reinterpret_cast<const std::uint8_t*>(
-                                      record + 14),
-                                  dlc));
   return frame;
 }
 

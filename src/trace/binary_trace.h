@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "can/frame.h"
 #include "trace/log_record.h"
 #include "trace/trace_source.h"
 
@@ -46,6 +47,79 @@ inline constexpr std::uint32_t kBinaryTraceVersion = 1;
 inline constexpr std::size_t kBinaryRecordBytes = 22;
 /// Channel names are indexed by one byte.
 inline constexpr std::size_t kMaxBinaryChannels = 255;
+
+// -- Record codec ------------------------------------------------------------
+//
+// The per-record encode/decode is buffer-oriented and independent of the
+// file container, so the serve wire protocol can stream the same 22-byte
+// records over a socket: the file loader maps faults to fatal corruption
+// errors, the wire framer counts them as per-stream parse errors.
+
+/// Record id-word flag bits (bits 0-28 carry the raw identifier).
+inline constexpr std::uint32_t kBinaryExtendedBit = 1u << 29;
+inline constexpr std::uint32_t kBinaryRemoteBit = 1u << 30;
+inline constexpr std::uint32_t kBinaryReservedBit = 1u << 31;
+
+/// One decode fault kind; kNone means the record is valid.
+enum class RecordFault : std::uint8_t {
+  kNone = 0,
+  kReservedBit,   // id word bit 31 set
+  kStandardId,    // standard-frame identifier above can::kMaxStdId
+  kDlc,           // dlc above can::kMaxDataBytes
+  kPadding,       // nonzero payload byte past dlc (or any byte, for remote)
+};
+
+/// Human-readable fault description ("reserved id bit set", ...).
+[[nodiscard]] const char* record_fault_message(RecordFault fault) noexcept;
+
+/// Encode one frame as a kBinaryRecordBytes record at `out`.
+void encode_binary_record(util::TimeNs timestamp, const can::Frame& frame,
+                          std::uint8_t channel_index, unsigned char* out);
+
+/// Validate and decode one record to full fidelity. The channel index is
+/// reported but not range-checked here — only the file container carries a
+/// channel table (the wire ignores the byte).
+[[nodiscard]] RecordFault decode_binary_record(const unsigned char* record,
+                                               can::TimedFrame& out,
+                                               std::uint8_t& channel_index);
+
+/// Wire-hot-path decode: applies the same strict validation (reserved bit,
+/// standard-id range, dlc, canonical padding) but materialises only the
+/// (timestamp, id) pair the fleet engine queues — no Frame construction.
+/// Defined inline: this runs per record in the serve binary data plane,
+/// and the byte-assembly loops compile to single little-endian loads.
+[[nodiscard]] inline RecordFault decode_binary_record_id(
+    const unsigned char* record, can::TimedId& out) {
+  std::uint64_t ts_bits = 0;
+  for (int b = 0; b < 8; ++b) {
+    ts_bits |= static_cast<std::uint64_t>(record[b]) << (8 * b);
+  }
+  std::uint32_t id_word = 0;
+  for (int b = 0; b < 4; ++b) {
+    id_word |= static_cast<std::uint32_t>(record[8 + b]) << (8 * b);
+  }
+  if ((id_word & kBinaryReservedBit) != 0) return RecordFault::kReservedBit;
+  const bool extended = (id_word & kBinaryExtendedBit) != 0;
+  const std::uint32_t raw = id_word & can::kMaxExtId;
+  if (!extended && raw > can::kMaxStdId) return RecordFault::kStandardId;
+  const std::uint8_t dlc = record[13];
+  if (dlc > can::kMaxDataBytes) return RecordFault::kDlc;
+  // Canonical-padding check as one word op: bytes past dlc (all of them
+  // for remote frames) must be zero.
+  std::uint64_t payload_word = 0;
+  for (int b = 0; b < 8; ++b) {
+    payload_word |= static_cast<std::uint64_t>(record[14 + b]) << (8 * b);
+  }
+  const unsigned data_bytes =
+      (id_word & kBinaryRemoteBit) != 0 ? 0u : static_cast<unsigned>(dlc);
+  if (data_bytes < can::kMaxDataBytes &&
+      (payload_word >> (8 * data_bytes)) != 0) {
+    return RecordFault::kPadding;
+  }
+  out.timestamp = static_cast<util::TimeNs>(ts_bits);
+  out.id = extended ? can::CanId::extended(raw) : can::CanId::standard(raw);
+  return RecordFault::kNone;
+}
 
 /// True when the stream starts with the binary-trace magic; the stream is
 /// rewound either way. The auto-detection hook behind detect_format.

@@ -33,6 +33,7 @@
 #include "serve/server.h"
 #include "telemetry/event_log.h"
 #include "telemetry/metrics.h"
+#include "trace/binary_trace.h"
 #include "trace/candump.h"
 #include "trace/log_record.h"
 #include "util/rng.h"
@@ -714,6 +715,198 @@ TEST(ServeServerTest, MetricsVerbAndEventLogCoverTheRun) {
   std::filesystem::remove(events_path);
   std::filesystem::remove(config.uds_path);
   std::filesystem::remove(config.control_path);
+}
+
+// ---- the BINARY wire mode ---------------------------------------------------
+
+/// Extract one integer sample from a Prometheus exposition, or -1.
+std::int64_t metric_value(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  std::size_t at = text.find(needle);
+  // Only accept a match at the start of a line.
+  while (at != std::string::npos && at != 0 && text[at - 1] != '\n') {
+    at = text.find(needle, at + 1);
+  }
+  if (at == std::string::npos) return -1;
+  return std::stoll(text.substr(at + needle.size()));
+}
+
+TEST(ServeServerTest, BinarySocketIngestMatchesDirectEngineRun) {
+  const ServeWorld world;
+  const std::vector<trace::LogRecord> records =
+      world.make_trace(13, 6, {2, 4});
+  const std::vector<std::string> expected =
+      direct_alert_lines(world, records);
+  ASSERT_FALSE(expected.empty());
+
+  ServeConfig config;
+  config.uds_path = socket_path("binary-data");
+  config.control_path = socket_path("binary-ctl");
+  const std::string alerts_path = config.uds_path + ".jsonl";
+  config.alerts_out = alerts_path;
+  engine::FleetConfig fleet_config = world.fleet_config();
+  fleet_config.metrics = std::make_shared<telemetry::MetricsRegistry>();
+  RunningServer running(world, config, fleet_config);
+
+  const int subscriber = connect_addr(config.uds_path);
+  send_all(subscriber, "SUBSCRIBE\n");
+
+  const int data = connect_addr(config.uds_path);
+  std::string payload = "HELLO bus\nBINARY\n";
+  unsigned char record_bytes[trace::kBinaryRecordBytes];
+  for (const trace::LogRecord& record : records) {
+    trace::encode_binary_record(record.timestamp, record.frame, 0,
+                                record_bytes);
+    payload.append(reinterpret_cast<const char*>(record_bytes),
+                   sizeof record_bytes);
+  }
+  // Inject a tampered record mid-stream (reserved id bit set): counted as
+  // a parse error, the connection and every later record live on.
+  trace::encode_binary_record(records.front().timestamp,
+                              records.front().frame, 0, record_bytes);
+  record_bytes[11] |= 0x80;
+  const std::size_t mid =
+      payload.size() / (2 * trace::kBinaryRecordBytes) *
+      trace::kBinaryRecordBytes;
+  payload.insert(mid, reinterpret_cast<const char*>(record_bytes),
+                 sizeof record_bytes);
+
+  // Send in two pieces split inside a record so the partial-carry path
+  // runs over a real socket.
+  const std::size_t split = payload.size() / 2 + 11;
+  send_all(data, std::string_view(payload).substr(0, split));
+  send_all(data, std::string_view(payload).substr(split));
+
+  // Disconnect mid-record: a trailing partial is one more parse error.
+  trace::encode_binary_record(records.front().timestamp,
+                              records.front().frame, 0, record_bytes);
+  send_all(data, std::string_view(
+                     reinterpret_cast<const char*>(record_bytes), 10));
+  ::close(data);
+
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<engine::StreamStatus> status =
+        running.engine->status();
+    if (!status.empty() && status.front().drained) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // STATUS reports the stream's negotiated wire mode.
+  {
+    const int control = connect_addr(config.control_path);
+    send_all(control, "STATUS\n");
+    const std::string status = read_reply_line(control);
+    EXPECT_NE(status.find("\"key\": \"bus\""), std::string::npos) << status;
+    EXPECT_NE(status.find("\"wire\": \"binary\""), std::string::npos)
+        << status;
+    ::close(control);
+  }
+  // The wire counters split by mode: every valid record landed as binary,
+  // none as text.
+  {
+    const int control = connect_addr(config.control_path);
+    send_all(control, "METRICS\n");
+    const std::string text = read_metrics_reply(control);
+    ::close(control);
+    EXPECT_EQ(metric_value(text,
+                           "canids_wire_records_total{mode=\"binary\"}"),
+              static_cast<std::int64_t>(records.size()));
+    EXPECT_EQ(metric_value(text, "canids_wire_records_total{mode=\"text\"}"),
+              0);
+    EXPECT_GE(metric_value(text, "canids_ingest_bytes_total"),
+              static_cast<std::int64_t>(payload.size()));
+  }
+
+  std::vector<std::string> streamed;
+  {
+    LineFramer framer;
+    char buf[65536];
+    while (streamed.size() < expected.size()) {
+      const ssize_t got = ::recv(subscriber, buf, sizeof buf, MSG_DONTWAIT);
+      if (got > 0) {
+        framer.feed(buf, static_cast<std::size_t>(got),
+                    [&streamed](std::string_view line) {
+                      streamed.emplace_back(line);
+                    });
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      break;
+    }
+  }
+  EXPECT_EQ(streamed, expected);
+  ::close(subscriber);
+
+  running.shutdown_and_join();
+
+  std::ifstream in(alerts_path);
+  std::vector<std::string> filed;
+  for (std::string line; std::getline(in, line);) filed.push_back(line);
+  EXPECT_EQ(filed, expected);
+
+  // Every real frame arrived; the tampered record and the trailing
+  // partial were counted, not fatal.
+  const ids::PipelineCounters& totals = running.engine->totals();
+  EXPECT_EQ(totals.frames, records.size());
+  EXPECT_EQ(totals.parse_errors, 2u);
+
+  std::filesystem::remove(alerts_path);
+  std::filesystem::remove(config.uds_path);
+  std::filesystem::remove(config.control_path);
+}
+
+TEST(SendTraceTest, BinaryWireReplayMatchesDirectRun) {
+  const ServeWorld world;
+  const std::vector<trace::LogRecord> records = world.make_trace(17, 5, {2});
+  const std::vector<std::string> expected =
+      direct_alert_lines(world, records);
+  ASSERT_FALSE(expected.empty());
+
+  // A canidsBT capture, as `canids convert` writes it.
+  const std::string trace_path = socket_path("binreplay") + ".bt";
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    trace::Trace trace(records.begin(), records.end());
+    trace::write_binary_trace(out, trace);
+  }
+
+  ServeConfig config;
+  config.uds_path = socket_path("binreplay-data");
+  const std::string alerts_path = config.uds_path + ".jsonl";
+  config.alerts_out = alerts_path;
+  RunningServer running(world, config);
+
+  // kAuto on a binary capture streams records without a text round-trip:
+  // exactly 22 bytes per frame after the negotiation lines.
+  SendOptions options;
+  options.key = "bus";
+  options.wire = SendWire::kAuto;
+  const SendStats stats = send_trace(config.uds_path, trace_path, options);
+  EXPECT_EQ(stats.frames, records.size());
+  EXPECT_EQ(stats.bytes, std::string("HELLO bus\nBINARY\n").size() +
+                             records.size() * trace::kBinaryRecordBytes);
+
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<engine::StreamStatus> status =
+        running.engine->status();
+    if (!status.empty() && status.front().drained) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  running.shutdown_and_join();
+
+  EXPECT_EQ(running.engine->totals().frames, records.size());
+  EXPECT_EQ(running.engine->totals().parse_errors, 0u);
+
+  std::ifstream in(alerts_path);
+  std::vector<std::string> filed;
+  for (std::string line; std::getline(in, line);) filed.push_back(line);
+  EXPECT_EQ(filed, expected);
+
+  std::filesystem::remove(alerts_path);
+  std::filesystem::remove(trace_path);
 }
 
 TEST(SendTraceTest, ReplaysACandumpFileOverTheSocket) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -130,6 +131,81 @@ TEST(BinaryTraceTest, TamperedBytesAreRejected) {
   expect_corrupt(kRecord0 + 13, 9, "dlc out of range");
   // Record 0 carries 4 payload bytes; its 8th payload slot must be zero.
   expect_corrupt(kRecord0 + 14 + 7, 0x01, "nonzero payload padding");
+}
+
+// ---- the buffer-oriented record codec (shared with the serve wire) ---------
+
+TEST(BinaryRecordCodecTest, RoundTripsEveryRecordShape) {
+  for (const LogRecord& record : sample_trace()) {
+    unsigned char bytes[kBinaryRecordBytes];
+    encode_binary_record(record.timestamp, record.frame, 3, bytes);
+
+    can::TimedFrame full;
+    std::uint8_t channel_index = 0;
+    ASSERT_EQ(decode_binary_record(bytes, full, channel_index),
+              RecordFault::kNone);
+    EXPECT_EQ(channel_index, 3);
+    EXPECT_EQ(full.timestamp, record.timestamp);
+    EXPECT_EQ(full.frame, record.frame);
+
+    // The id-only wire decoder applies the same validation and agrees on
+    // the fields it materialises.
+    can::TimedId id;
+    ASSERT_EQ(decode_binary_record_id(bytes, id), RecordFault::kNone);
+    EXPECT_EQ(id.timestamp, record.timestamp);
+    EXPECT_EQ(id.id, record.frame.id());
+  }
+}
+
+TEST(BinaryRecordCodecTest, BothDecodersRejectTheSameTampering) {
+  const std::uint8_t payload[] = {0x11, 0x22, 0x33, 0x44};
+  unsigned char clean[kBinaryRecordBytes];
+  encode_binary_record(5'000'000,
+                       can::Frame::data_frame(can::CanId::standard(0x0D1),
+                                              payload),
+                       0, clean);
+
+  const auto expect_fault = [&](std::size_t offset, unsigned char value,
+                                RecordFault want) {
+    unsigned char bytes[kBinaryRecordBytes];
+    std::memcpy(bytes, clean, sizeof bytes);
+    bytes[offset] = value;
+    can::TimedFrame full;
+    std::uint8_t channel_index = 0;
+    EXPECT_EQ(decode_binary_record(bytes, full, channel_index), want)
+        << "full decoder, offset " << offset;
+    can::TimedId id;
+    EXPECT_EQ(decode_binary_record_id(bytes, id), want)
+        << "id decoder, offset " << offset;
+  };
+
+  // id_word is bytes 8..11 LE; byte 11 bit 7 is the reserved bit.
+  expect_fault(11, 0x80, RecordFault::kReservedBit);
+  // byte 9 = id bits 8..15: 0x08 makes a standard id of 0x8D1 > 0x7FF.
+  expect_fault(9, 0x08, RecordFault::kStandardId);
+  expect_fault(13, 9, RecordFault::kDlc);
+  // Record carries 4 payload bytes; slots past dlc must stay zero.
+  expect_fault(14 + 4, 0x01, RecordFault::kPadding);
+  expect_fault(14 + 7, 0x01, RecordFault::kPadding);
+
+  // Remote frames carry no payload at all: any nonzero byte is padding.
+  unsigned char remote[kBinaryRecordBytes];
+  encode_binary_record(
+      5'000'000, can::Frame::remote_frame(can::CanId::standard(0x5E4), 4), 0,
+      remote);
+  remote[14] = 0x01;
+  can::TimedId id;
+  EXPECT_EQ(decode_binary_record_id(remote, id), RecordFault::kPadding);
+}
+
+TEST(BinaryRecordCodecTest, FaultMessagesMatchLoaderErrors) {
+  EXPECT_STREQ(record_fault_message(RecordFault::kReservedBit),
+               "reserved id bit set");
+  EXPECT_STREQ(record_fault_message(RecordFault::kStandardId),
+               "standard identifier out of range");
+  EXPECT_STREQ(record_fault_message(RecordFault::kDlc), "dlc out of range");
+  EXPECT_STREQ(record_fault_message(RecordFault::kPadding),
+               "nonzero payload padding");
 }
 
 TEST(BinaryTraceTest, FillMatchesNextAtAnyChunkSize) {

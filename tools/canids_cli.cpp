@@ -123,7 +123,7 @@ void print_usage(std::FILE* out) {
                "[--queue-capacity N] [--drain-batch N] [--max-line N] "
                "[--quiet]\n"
                "  canids send <capture> --addr ADDR [--key KEY] [--speed X] "
-               "[--quiet]\n"
+               "[--wire text|binary|auto] [--quiet]\n"
                "  canids ctl <control-socket> "
                "STATUS|METRICS|RELOAD [path]|SHUTDOWN\n"
                "  canids simulate <log-out> [--seconds N] [--behavior NAME] "
@@ -158,7 +158,10 @@ void print_usage(std::FILE* out) {
                "RELOAD / SHUTDOWN — RELOAD hot-swaps the model bundle "
                "without disconnecting streams. `send` replays a capture to "
                "a daemon, paced by recorded timestamps at --speed x "
-               "(0 = unpaced); `fleet --alerts-out` writes the same JSONL "
+               "(0 = unpaced); `--wire binary` upgrades the connection "
+               "with a BINARY line and streams 22-byte canidsBT records "
+               "instead of candump text (`auto` = binary iff the capture "
+               "is canidsBT); `fleet --alerts-out` writes the same JSONL "
                "schema, so live and batch runs diff directly. Telemetry: "
                "`ctl ADDR METRICS` and `fleet --metrics-out` dump one "
                "Prometheus text exposition; `serve --events-out` records "
@@ -976,6 +979,17 @@ int cmd_send(const std::string& trace_path, std::vector<std::string> args) {
       throw UsageError{"--speed expects >= 0 (0 = unpaced)"};
     }
     options.speed = *speed;
+  }
+  if (const auto wire = arg_string(args, "--wire")) {
+    if (*wire == "text") {
+      options.wire = serve::SendWire::kText;
+    } else if (*wire == "binary") {
+      options.wire = serve::SendWire::kBinary;
+    } else if (*wire == "auto") {
+      options.wire = serve::SendWire::kAuto;
+    } else {
+      throw UsageError{"--wire expects text, binary, or auto"};
+    }
   }
   const bool quiet = arg_flag(args, "--quiet");
   reject_leftovers(args);
