@@ -36,7 +36,7 @@ int main() {
   attack_config.start = 0;
   auto attack = attacks::make_single_id_attack(
       attack_config, trial.planned_ids.front(), util::Rng(5));
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
 
   ids::WindowAccumulator accumulator;
   std::optional<ids::WindowSnapshot> attacked;

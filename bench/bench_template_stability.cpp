@@ -82,7 +82,7 @@ int main() {
     auto attack = attacks::make_scenario(attacks::ScenarioKind::kSingle,
                                          runner.vehicle(), attack_config,
                                          util::Rng(3));
-    bus.add_node(std::move(attack.node));
+    attacks::attach_attack(bus, attack);
     trace::TraceRecorder recorder(bus, "can0");
     bus.run_until(10 * util::kSecond);
     std::vector<can::TimedFrame> frames;

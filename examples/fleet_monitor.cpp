@@ -56,7 +56,7 @@ int main() {
                                        attack_config, util::Rng(7));
   std::printf("car-compromised: injecting ID %03X at %.0f Hz, t=5s..15s\n",
               attack.planned_ids.front(), attack_config.frequency_hz);
-  attacked_bus.add_node(std::move(attack.node));
+  attacks::attach_attack(attacked_bus, attack);
   sources.push_back(engine::NamedSource{
       "car-compromised",
       std::make_unique<trace::BusStreamSource>(attacked_bus, kDrive),

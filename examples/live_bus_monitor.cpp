@@ -186,7 +186,7 @@ int main() {
                           can::CanId::standard(single.planned_ids[0])
                               .to_string() + ", 100 Hz)"});
   timeline.push_back({single_config.stop, "single-ID injection ends"});
-  bus.add_node(std::move(single.node));
+  attacks::attach_attack(bus, single);
 
   attacks::AttackConfig flood_config;
   flood_config.frequency_hz = 400.0;
@@ -196,7 +196,7 @@ int main() {
   timeline.push_back({flood_config.start,
                       "flooding with changeable high-priority IDs (400 Hz)"});
   timeline.push_back({flood_config.stop, "flooding ends"});
-  bus.add_node(std::move(flood.node));
+  attacks::attach_attack(bus, flood);
 
   // --- Run the timeline, one simulated second per socket write -------------
   std::printf("=== live bus monitor (engine behind unix:%s) ===\n",

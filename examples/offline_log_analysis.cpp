@@ -51,7 +51,7 @@ void generate_demo_logs(const std::filesystem::path& train_path,
   std::printf("demo drive contains a 2-ID injection (IDs");
   for (std::uint32_t id : attack.planned_ids) std::printf(" %03X", id);
   std::printf(") between t=6s and t=14s\n");
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
   trace::TraceRecorder recorder(bus, "can0");
   bus.run_until(18 * util::kSecond);
   trace::save_trace_file(drive_path, recorder.trace(),

@@ -42,7 +42,7 @@ int main() {
                                        util::Rng(7));
   std::printf("attacker will inject ID %03X at %.0f Hz from t=5s to t=12s\n",
               attack.planned_ids.front(), attack_config.frequency_hz);
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
 
   // --- 4. Attach the IDS and stream the bus through it ----------------------
   ids::PipelineConfig pipeline_config;  // 1 s windows, alpha = 5, rank = 10

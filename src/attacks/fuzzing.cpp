@@ -1,0 +1,35 @@
+// Fuzzing attack: uniformly random identifiers over the whole standard ID
+// space with random payloads, at a configurable rate. Unlike flooding
+// (high-priority band only), fuzzing sprays mostly-unseen identifiers
+// across the space — a large entropy disturbance, but invisible to
+// per-known-ID interval rules that ignore identifiers absent from
+// training. Modeled on the generator in the Smart-Parking attack suite.
+#include "attacks/scenario.h"
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_fuzzing_attack(const AttackConfig& config, util::Rng rng,
+                                std::uint32_t id_floor,
+                                std::uint32_t id_ceiling) {
+  CANIDS_EXPECTS(id_floor <= id_ceiling);
+  CANIDS_EXPECTS(id_ceiling <= can::kMaxStdId);
+
+  auto selector_rng = rng.fork();
+  auto selector = [selector_rng, id_floor,
+                   id_ceiling](std::uint32_t /*seq*/) mutable {
+    const std::uint64_t span = id_ceiling - id_floor + 1;
+    return can::CanId::standard(
+        id_floor + static_cast<std::uint32_t>(selector_rng.below(span)));
+  };
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kFuzzing;
+  // planned_ids stays empty: the fuzzed ID set is unbounded by design.
+  attack.node = std::make_unique<InjectionNode>("attacker-fuzz", config,
+                                                std::move(selector), rng);
+  return attack;
+}
+
+}  // namespace canids::attacks

@@ -1,0 +1,37 @@
+// Masquerade attack (the hard case): silence a victim ECU, then
+// impersonate its highest-rate periodic message — same identifier, same
+// period and DLC, continuing the cadence observed before the takeover.
+// The forged stream looks nominal to ID- and timing-based views; what
+// remains detectable is the weakened suspend signature of the victim's
+// OTHER messages going missing. A full-ECU impersonation with perfect
+// timing would be provably invisible to any ID-sequence detector, so the
+// targeted form (ROAD's masquerade flavor) is the honest benchmark.
+#include "attacks/scenario.h"
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_masquerade_attack(const AttackConfig& config,
+                                   std::string victim_node,
+                                   std::vector<std::uint32_t> victim_ids,
+                                   const can::MessageSpec& target,
+                                   util::Rng rng) {
+  CANIDS_EXPECTS(!victim_node.empty());
+  CANIDS_EXPECTS(target.id.raw() <= can::kMaxStdId);
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kMasquerade;
+  attack.planned_ids = {target.id.raw()};
+  attack.victim_node = victim_node;
+  // The impersonated ID keeps flowing; the victim's remaining messages
+  // are what actually disappears.
+  for (std::uint32_t id : victim_ids) {
+    if (id != target.id.raw()) attack.silenced_ids.push_back(id);
+  }
+  attack.node = std::make_unique<MasqueradeNode>(
+      "attacker-masquerade", config, std::move(victim_node), target, rng);
+  return attack;
+}
+
+}  // namespace canids::attacks

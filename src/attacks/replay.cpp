@@ -1,0 +1,25 @@
+// Replay attack: record the legitimate traffic preceding the attack
+// window, then re-transmit it from `start` with the original inter-arrival
+// gaps, looping until `stop`. The ID distribution of the replayed stream
+// is by construction the legitimate one — entropy-template detectors stay
+// near-blind while every replayed identifier's arrival rate doubles, which
+// is the interval baseline's home turf. This is the classic split the
+// comparative CAN-IDS literature (HIVIDS, the ROAD analysis) probes.
+#include "attacks/scenario.h"
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_replay_attack(const AttackConfig& config) {
+  CANIDS_EXPECTS(config.start > 0 && "replay needs a recording phase");
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kReplay;
+  // planned_ids stays empty: the replayed set is whatever the bus carried
+  // during the recording phase (ids_used() reports it after the fact).
+  attack.node = std::make_unique<ReplayNode>("attacker-replay", config);
+  return attack;
+}
+
+}  // namespace canids::attacks

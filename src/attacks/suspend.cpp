@@ -1,0 +1,28 @@
+// Suspend attack: a compromised ECU simply stops transmitting at `start`
+// (and stays silent — a killed ECU does not resurrect). Nothing is
+// injected, so frame-level attribution sees zero malicious frames; the
+// observable is the victim's identifiers VANISHING from the mix, which
+// pushes per-bit entropy through the golden template's other tail. This is
+// the scenario the two-sided alert rule (ids::DetectorConfig::tails)
+// exists for, and the one a too-fast-only interval rule cannot see.
+#include "attacks/scenario.h"
+
+#include "util/contracts.h"
+
+namespace canids::attacks {
+
+BuiltAttack make_suspend_attack(const AttackConfig& config,
+                                std::string victim_node,
+                                std::vector<std::uint32_t> victim_ids) {
+  CANIDS_EXPECTS(!victim_node.empty());
+
+  BuiltAttack attack;
+  attack.kind = ScenarioKind::kSuspend;
+  attack.victim_node = victim_node;
+  attack.silenced_ids = std::move(victim_ids);
+  attack.node = std::make_unique<EcuSuspendNode>("attacker-suspend", config,
+                                                 std::move(victim_node));
+  return attack;
+}
+
+}  // namespace canids::attacks

@@ -321,18 +321,6 @@ std::string ShardSelector::to_string() const {
   return std::to_string(index + 1) + "/" + std::to_string(count);
 }
 
-std::string_view scenario_token(attacks::ScenarioKind kind) {
-  switch (kind) {
-    case attacks::ScenarioKind::kFlood: return "flood";
-    case attacks::ScenarioKind::kSingle: return "single";
-    case attacks::ScenarioKind::kMulti2: return "multi2";
-    case attacks::ScenarioKind::kMulti3: return "multi3";
-    case attacks::ScenarioKind::kMulti4: return "multi4";
-    case attacks::ScenarioKind::kWeak: return "weak";
-  }
-  return "unknown";
-}
-
 std::optional<attacks::ScenarioKind> scenario_from_token(
     std::string_view token) {
   for (const attacks::ScenarioKind kind : attacks::kAllScenarios) {

@@ -23,9 +23,11 @@ namespace canids::campaign {
 [[nodiscard]] std::string json_escape(std::string_view s);
 
 /// Short machine-readable scenario token used in specs and report columns
-/// ("flood", "single", "multi2", "multi3", "multi4", "weak") — the same
-/// vocabulary `canids simulate --attack` accepts.
-[[nodiscard]] std::string_view scenario_token(attacks::ScenarioKind kind);
+/// ("flood", "single", ..., "masquerade") — the same vocabulary `canids
+/// simulate --attack` accepts. The token itself lives with the scenario
+/// traits table (attacks/scenario.h); this alias keeps campaign callers
+/// working.
+using attacks::scenario_token;
 [[nodiscard]] std::optional<attacks::ScenarioKind> scenario_from_token(
     std::string_view token);
 

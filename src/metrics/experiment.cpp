@@ -264,8 +264,11 @@ InstrumentedTrial ExperimentRunner::run_instrumented_attack(
   can::BusSimulator bus(config_.vehicle.bus);
   vehicle_.attach_to(bus, behavior, derive_seed(config_.seed, 5 + trial_seed));
 
-  attacks::InjectionNode* attacker = attack.node.get();
-  const int attacker_index = bus.add_node(std::move(attack.node));
+  // attach_attack (not add_node) so suspend/masquerade attackers resolve
+  // their victim ECU on the freshly-attached vehicle.
+  const attacks::AttachedAttack attached = attacks::attach_attack(bus, attack);
+  attacks::AttackNode* attacker = attached.node;
+  const int attacker_index = attached.index;
 
   const std::unique_ptr<analysis::DetectorBackend> backend =
       make_backend(backend_name);
@@ -533,7 +536,7 @@ ComparisonTrial ExperimentRunner::run_comparison(std::string_view backend_name,
 
   can::BusSimulator bus(config_.vehicle.bus);
   vehicle_.attach_to(bus, trace::DrivingBehavior::kCity, vehicle_seed);
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
 
   const std::unique_ptr<analysis::DetectorBackend> backend =
       make_backend(backend_name);

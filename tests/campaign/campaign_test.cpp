@@ -345,6 +345,78 @@ TEST(CampaignRunnerTest, ReportIsByteIdenticalAtAnyWorkerCount) {
   EXPECT_EQ(bytes_one, bytes_eight);
 }
 
+TEST(CampaignRunnerTest, ExtendedScenariosScoreEveryDetector) {
+  CampaignSpec spec;
+  spec.name = "extended";
+  spec.detectors = {"bit-entropy", "interval"};
+  spec.scenarios = {
+      attacks::ScenarioKind::kReplay, attacks::ScenarioKind::kSuspend,
+      attacks::ScenarioKind::kFuzzing, attacks::ScenarioKind::kMasquerade};
+  spec.rates_hz = {100.0};
+  spec.seeds = 2;
+  spec.experiment.training_windows = 10;
+  spec.experiment.clean_lead_in = 2 * util::kSecond;
+  spec.experiment.attack_duration = 6 * util::kSecond;
+  spec.workers = 1;
+
+  CampaignRunner runner(spec);
+  const CampaignReport report = runner.run();
+
+  // detector x scenario cells all materialize, each with a ROC curve.
+  ASSERT_EQ(report.cells.size(), 8u);
+  for (const CampaignCell& cell : report.cells) {
+    EXPECT_FALSE(cell.roc.empty())
+        << cell.detector << "/" << scenario_token(cell.kind);
+    EXPECT_GT(cell.windows.total(), 0u);
+  }
+
+  const auto cell_of = [&](std::string_view detector,
+                           attacks::ScenarioKind kind) -> const CampaignCell& {
+    for (const CampaignCell& cell : report.cells) {
+      if (cell.detector == detector && cell.kind == kind) return cell;
+    }
+    throw std::logic_error("cell not found");
+  };
+
+  // The comparative split this corpus exists to measure: the two-sided
+  // entropy rule catches the silence-based attacks (nonzero TPR on
+  // suspend AND masquerade), the interval baseline catches replay.
+  EXPECT_GT(cell_of("bit-entropy", attacks::ScenarioKind::kSuspend).tpr, 0.0);
+  EXPECT_GT(cell_of("bit-entropy", attacks::ScenarioKind::kMasquerade).tpr,
+            0.0);
+  EXPECT_GT(cell_of("bit-entropy", attacks::ScenarioKind::kFuzzing).tpr, 0.0);
+  EXPECT_GT(cell_of("interval", attacks::ScenarioKind::kReplay).tpr, 0.0);
+  // Suspend injects nothing: frame-level attribution must agree.
+  EXPECT_EQ(cell_of("bit-entropy", attacks::ScenarioKind::kSuspend)
+                .frames.injected_frames,
+            0u);
+  // Matched ID + timing blinds the interval view — the hard case.
+  EXPECT_EQ(cell_of("interval", attacks::ScenarioKind::kMasquerade)
+                .windows.true_positive,
+            0u);
+}
+
+TEST(CampaignRunnerTest, ExtendedScenarioReportIsWorkerCountInvariant) {
+  const auto spec_with = [](int workers) {
+    CampaignSpec spec;
+    spec.name = "extended-determinism";
+    spec.detectors = {"bit-entropy", "interval"};
+    spec.scenarios = {
+        attacks::ScenarioKind::kReplay, attacks::ScenarioKind::kSuspend,
+        attacks::ScenarioKind::kFuzzing, attacks::ScenarioKind::kMasquerade};
+    spec.rates_hz = {100.0};
+    spec.seeds = 2;
+    spec.experiment.training_windows = 8;
+    spec.experiment.clean_lead_in = 2 * util::kSecond;
+    spec.experiment.attack_duration = 4 * util::kSecond;
+    spec.workers = workers;
+    return spec;
+  };
+  CampaignRunner one(spec_with(1));
+  CampaignRunner six(spec_with(6));
+  EXPECT_EQ(report_bytes(one.run()), report_bytes(six.run()));
+}
+
 TEST(CampaignRunnerTest, RejectsUnknownDetectors) {
   CampaignSpec spec = quick_spec();
   spec.detectors = {"no-such-detector"};
@@ -435,7 +507,7 @@ void record_attacked_capture(const std::filesystem::path& path,
   attack_config.stop = 9 * util::kSecond;
   attacks::BuiltAttack attack = attacks::make_scenario(
       attacks::ScenarioKind::kSingle, vehicle, attack_config, util::Rng(7));
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
   trace::TraceRecorder recorder(bus);
   bus.run_until(12 * util::kSecond);
   trace::save_trace_file(path, recorder.trace(),

@@ -156,5 +156,34 @@ TEST(DetectorTest, SymmetricProbabilityFlipInvisibleToEntropy) {
   }
 }
 
+TEST(DetectorTest, TwoSidedRuleCatchesBothTails) {
+  // Template around p=0.2 (H ~0.72, Th = 5*(H(.21)-H(.19)) ~0.20); entropy
+  // DROPS for p -> 0.05 (injection concentrates the mix, dev ~0.44) and
+  // RISES for p -> 0.5 (suspend removes the IDs that kept the bit biased,
+  // dev ~0.28). A template nearer p=0.5 would leave the upper tail no
+  // headroom: binary entropy caps at 1.
+  const GoldenTemplate tpl = template_around(0.2, 0.01);
+  const auto dropped = window_with_p(std::vector<double>(11, 0.05));
+  const auto risen = window_with_p(std::vector<double>(11, 0.5));
+
+  const Detector both(tpl, DetectorConfig{});
+  EXPECT_TRUE(both.evaluate(dropped).alert);
+  EXPECT_TRUE(both.evaluate(risen).alert);
+  EXPECT_LT(both.evaluate(dropped).bits[0].delta_entropy, 0.0);
+  EXPECT_GT(both.evaluate(risen).bits[0].delta_entropy, 0.0);
+
+  DetectorConfig below_config;
+  below_config.tails = AlertTails::kBelow;
+  const Detector below(tpl, below_config);
+  EXPECT_TRUE(below.evaluate(dropped).alert);
+  EXPECT_FALSE(below.evaluate(risen).alert);
+
+  DetectorConfig above_config;
+  above_config.tails = AlertTails::kAbove;
+  const Detector above(tpl, above_config);
+  EXPECT_FALSE(above.evaluate(dropped).alert);
+  EXPECT_TRUE(above.evaluate(risen).alert);
+}
+
 }  // namespace
 }  // namespace canids::ids

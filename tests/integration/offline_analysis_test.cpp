@@ -48,7 +48,7 @@ TEST(OfflineAnalysisTest, CandumpRoundTripDetection) {
   auto attack = attacks::make_scenario(attacks::ScenarioKind::kSingle,
                                        vehicle, attack_config, util::Rng(9));
   const std::vector<std::uint32_t> true_ids = attack.planned_ids;
-  bus.add_node(std::move(attack.node));
+  attacks::attach_attack(bus, attack);
   trace::TraceRecorder recorder(bus, "can0");
   bus.run_until(9 * kSecond);
 

@@ -23,7 +23,8 @@
 //       [--key K] [--speed X]                  paced by recorded timestamps
 //   canids ctl <control-socket> <COMMAND...>   one-shot control client
 //   canids simulate <log-out> [--seconds N] [--behavior NAME] [--seed N]
-//       [--attack single|multi2|multi3|multi4|weak|flood] [--freq HZ]
+//       [--attack KIND] [--freq HZ]   KIND: any scenario token (flood,
+//       single, multi2..4, weak, replay, suspend, fuzzing, masquerade)
 //   canids campaign [spec.json] [--smoke] [--out DIR] [grid flags...]
 //       parallel detector x scenario x rate x seed evaluation sweep with
 //       ROC/AUC + detection-latency reports (CSV + JSON); with
@@ -1118,18 +1119,15 @@ int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
   vehicle.attach_to(bus, behavior, seed);
 
   if (attack_name) {
-    attacks::ScenarioKind kind;
-    if (*attack_name == "single") kind = attacks::ScenarioKind::kSingle;
-    else if (*attack_name == "multi2") kind = attacks::ScenarioKind::kMulti2;
-    else if (*attack_name == "multi3") kind = attacks::ScenarioKind::kMulti3;
-    else if (*attack_name == "multi4") kind = attacks::ScenarioKind::kMulti4;
-    else if (*attack_name == "weak") kind = attacks::ScenarioKind::kWeak;
-    else if (*attack_name == "flood") kind = attacks::ScenarioKind::kFlood;
-    else {
-      std::fprintf(stderr,
-                   "unknown attack '%s' (single|multi2|multi3|multi4|weak|"
-                   "flood)\n",
+    const auto kind = campaign::scenario_from_token(*attack_name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown attack '%s' (try:",
                    attack_name->c_str());
+      for (const attacks::ScenarioKind k : attacks::kAllScenarios) {
+        std::fprintf(stderr, " %s",
+                     std::string(attacks::scenario_token(k)).c_str());
+      }
+      std::fprintf(stderr, ")\n");
       return 65;
     }
     attacks::AttackConfig attack_config;
@@ -1137,15 +1135,19 @@ int cmd_simulate(const std::string& out_path, std::vector<std::string> args) {
     attack_config.start = util::from_seconds(seconds * 0.25);
     attack_config.stop = util::from_seconds(seconds * 0.75);
     auto attack =
-        attacks::make_scenario(kind, vehicle, attack_config, util::Rng(seed));
-    std::printf("attack: %s", std::string(attacks::scenario_name(kind)).c_str());
+        attacks::make_scenario(*kind, vehicle, attack_config, util::Rng(seed));
+    std::printf("attack: %s",
+                std::string(attacks::scenario_name(*kind)).c_str());
     if (!attack.planned_ids.empty()) {
       std::printf(" IDs:");
       for (std::uint32_t id : attack.planned_ids) std::printf(" %03X", id);
     }
+    if (!attack.victim_node.empty()) {
+      std::printf(" victim: %s", attack.victim_node.c_str());
+    }
     std::printf(" active %.1fs..%.1fs at %.0f Hz\n", seconds * 0.25,
                 seconds * 0.75, frequency);
-    bus.add_node(std::move(attack.node));
+    attacks::attach_attack(bus, attack);
   }
 
   trace::TraceRecorder recorder(bus, "can0");
@@ -1278,8 +1280,12 @@ int cmd_campaign(std::vector<std::string> args) {
     for (const std::string& token : split_list(*scenarios)) {
       const auto kind = campaign::scenario_from_token(token);
       if (!kind) {
-        throw UsageError{"unknown scenario '" + token +
-                         "' (flood|single|multi2|multi3|multi4|weak)"};
+        std::string known;
+        for (const attacks::ScenarioKind k : attacks::kAllScenarios) {
+          if (!known.empty()) known += '|';
+          known += std::string(attacks::scenario_token(k));
+        }
+        throw UsageError{"unknown scenario '" + token + "' (" + known + ")"};
       }
       spec.scenarios.push_back(*kind);
     }
